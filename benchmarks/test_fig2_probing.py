@@ -1,0 +1,28 @@
+"""Fig. 2 — the probing strategies on synthetic dangerous-query sets.
+
+Quantifies the figure's two claims: sibling outcomes can be deduced
+instead of tested, and chunked probing beats frequency-space probing
+when the dangerous queries cluster.
+"""
+
+from repro.experiments.fig2_probing import render_fig2, run_fig2
+
+from conftest import save_result
+
+
+def test_fig2_strategies(benchmark, once):
+    rows = once(benchmark, run_fig2, 256)
+    table = render_fig2(rows)
+    save_result("fig2_probing", table)
+    print("\n" + table)
+
+    by_layout = {r.layout: r for r in rows}
+    clustered = by_layout["clustered (8 adjacent)"]
+    scattered = by_layout["scattered (8 uniform)"]
+    # chunked exploits clustering: fewer tests than frequency bisection
+    assert clustered.chunked_tests < clustered.frequency_tests
+    # both are far cheaper than testing each of the 256 queries alone
+    assert clustered.chunked_tests < 128
+    assert scattered.chunked_tests < 160
+    # nothing dangerous: one test settles it
+    assert by_layout["none"].chunked_tests == 1

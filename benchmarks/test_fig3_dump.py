@@ -1,0 +1,25 @@
+"""Fig. 3 — the ORAQL pessimistic-query dump for TestSNAP OpenMP.
+
+Regenerates the debug output: every pessimistically-answered non-cached
+query with its issuing pass, the two locations with LocationSize
+descriptions, the scope (the OpenMP-outlined region), and source lines.
+"""
+
+from repro.experiments.fig3_dump import run_fig3
+
+from conftest import save_result
+
+
+def test_fig3_dump(benchmark, once):
+    text = once(benchmark, run_fig3, "TestSNAP-openmp")
+    save_result("fig3_dump", text)
+    print("\n" + text)
+
+    assert "[ORAQL] Pessimistic query [Cached 0]" in text
+    assert "Executing Pass" in text
+    # the pessimistic queries live in the outlined parallel region, as
+    # in the paper's .omp_outlined._debug__.6
+    assert "omp_outlined" in text
+    assert "LocationSize" in text
+    # debug info resolves the source lines of the pointers (sna.cpp:…)
+    assert "sna.cpp:" in text

@@ -1,0 +1,14 @@
+"""Fig. 5 — software versions (provenance of the snapshot)."""
+
+from repro.experiments.fig5_versions import PAPER_VERSIONS, VERSIONS, render_fig5
+
+from conftest import save_result
+
+
+def test_fig5_versions(benchmark, once):
+    text = once(benchmark, render_fig5)
+    save_result("fig5_versions", text)
+    print("\n" + text)
+    assert "repro (this package)" in text
+    assert any("LLVM" in c for c, _ in PAPER_VERSIONS)
+    assert len(VERSIONS) >= 4

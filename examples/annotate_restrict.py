@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Use case 1 (paper §I): guided source annotation.
+
+Instead of blanket-annotating every pointer parameter with ``restrict``
+(maintenance cost, and a latent bug if an invariant is ever violated),
+use ORAQL to find out (a) how much better alias information could help
+at all, and (b) *which* functions the conservative answers live in —
+then annotate only those.
+
+This example measures the optimization statistics three ways:
+
+1. the plain program,
+2. the ORAQL (almost-)perfect-aliasing bound,
+3. the program with ``restrict`` added only where ORAQL pointed,
+
+and shows that the single targeted annotation recovers the bound.
+
+Run:  python examples/annotate_restrict.py
+"""
+
+from repro.oraql import BenchmarkConfig, Compiler, ProbingDriver, SourceFile
+
+KERNELS = r"""
+// the hot kernel: y gets updated from two read-only fields
+void gather_update(double* y, double* fields, double* weights, int n) {
+  for (int i = 0; i < n; i++) {
+    y[i] = y[i] + fields[i] * weights[0] + fields[i + n] * weights[1];
+  }
+}
+"""
+
+DRIVER = r"""
+int main() {
+  double y[64];
+  double fields[128];
+  double w[2];
+  for (int i = 0; i < 64; i++) { y[i] = 0.5; }
+  for (int i = 0; i < 128; i++) { fields[i] = i * 0.01; }
+  w[0] = 0.75;
+  w[1] = 0.25;
+  for (int rep = 0; rep < 4; rep++) {
+    gather_update(y, fields, w, 64);
+  }
+  double s = 0.0;
+  for (int i = 0; i < 64; i++) { s = s + y[i]; }
+  printf("checksum = %.9f\n", s);
+  return 0;
+}
+"""
+
+STAT = ("Loop Invariant Code Motion", "# loads hoisted or sunk")
+
+
+def licm_stat(config):
+    prog = Compiler().compile(config, oraql_enabled=False)
+    run = prog.run()
+    assert run.ok, run.error
+    return prog.stats.get(*STAT), run.instructions
+
+
+def main() -> None:
+    plain = BenchmarkConfig(
+        name="plain", sources=[SourceFile("app.c", KERNELS + DRIVER)])
+
+    # 1. plain build: the weights[0]/weights[1] loads cannot be hoisted
+    # out of the loop (they might alias the y[i] stores).
+    hoists_plain, insts_plain = licm_stat(plain)
+
+    # 2. the ORAQL bound: what would (almost) perfect aliasing buy?
+    report = ProbingDriver(plain).run()
+    hoists_bound = report.final_program.stats.get(*STAT)
+    run_bound = report.final_program.run()
+    print(f"plain   : {hoists_plain} LICM hoists, "
+          f"{insts_plain} instructions")
+    print(f"ORAQL   : {hoists_bound} LICM hoists, "
+          f"{run_bound.instructions} instructions "
+          f"({report.opt_unique} optimistic queries, "
+          f"{report.pess_unique} pessimistic)")
+    assert report.fully_optimistic, "this kernel has no true aliases"
+
+    # 3. ORAQL says every query in gather_update is safely optimistic —
+    # so annotate exactly that function and re-measure.
+    annotated_src = KERNELS.replace(
+        "void gather_update(double* y, double* fields, double* weights",
+        "void gather_update(double* restrict y, double* restrict fields, "
+        "double* restrict weights") + DRIVER
+    annotated = BenchmarkConfig(
+        name="annotated", sources=[SourceFile("app.c", annotated_src)])
+    hoists_annotated, insts_annotated = licm_stat(annotated)
+    print(f"restrict: {hoists_annotated} LICM hoists, "
+          f"{insts_annotated} instructions")
+
+    assert hoists_annotated > hoists_plain
+    assert insts_annotated <= run_bound.instructions * 1.02
+    print("\n=> one targeted restrict annotation recovers the ORAQL bound")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""ORAQL — Optimistic Responses to Alias Queries (ICPP 2023), a
+pure-Python reproduction.
+
+The package layers, bottom-up:
+
+* :mod:`repro.ir` — a typed SSA IR with TBAA / alias-scope / debug
+  metadata (the LLVM-IR stand-in);
+* :mod:`repro.analysis` — the alias-analysis chain (BasicAA, TBAA,
+  ScopedNoAlias, GlobalsAA, CFL-Steens/Anders), dominators, loops,
+  MemorySSA;
+* :mod:`repro.passes` — the AA-consuming optimizations (EarlyCSE, GVN,
+  LICM, DSE, loop deletion/load-elim, memcpyopt, vectorizers, sinking)
+  under a pass manager with LLVM-style statistics;
+* :mod:`repro.codegen` — machine-instruction accounting, register
+  allocation, GPU kernel static properties;
+* :mod:`repro.vm` — a deterministic interpreter (instruction counts,
+  cycle model, OpenMP/CUDA/MPI simulation) that makes verification real;
+* :mod:`repro.frontend` — the MiniC frontend (restrict, TBAA, OpenMP
+  outlining, CUDA kernels);
+* :mod:`repro.oraql` — **the paper's contribution**: the ORAQL alias
+  analysis pass, the probing driver (chunked and frequency-space
+  bisection), and the verification script;
+* :mod:`repro.workloads` — the seven HPC proxy apps in all sixteen
+  configurations of Fig. 4;
+* :mod:`repro.experiments` — regeneration of every evaluation table and
+  figure.
+
+Quickstart::
+
+    from repro.oraql import BenchmarkConfig, SourceFile, ProbingDriver
+
+    cfg = BenchmarkConfig(name="demo", sources=[SourceFile("a.c", SRC)])
+    report = ProbingDriver(cfg).run()
+    print(report.summary())
+"""
+
+__version__ = "1.0.0"
+
+from .oraql import (
+    BenchmarkConfig,
+    CompiledProgram,
+    Compiler,
+    DecisionSequence,
+    DumpFlags,
+    OraqlAAPass,
+    ProbingDriver,
+    ProbingReport,
+    SourceFile,
+    VerificationScript,
+    render_report,
+)
+
+__all__ = [
+    "BenchmarkConfig", "CompiledProgram", "Compiler", "DecisionSequence",
+    "DumpFlags", "OraqlAAPass", "ProbingDriver", "ProbingReport",
+    "SourceFile", "VerificationScript", "render_report", "__version__",
+]

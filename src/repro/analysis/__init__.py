@@ -1,0 +1,50 @@
+"""repro.analysis — CFG, dominators, loops, and the alias-analysis stack."""
+
+from .aliasing import (
+    AAResults,
+    AliasAnalysisPass,
+    AliasResult,
+    ModRefInfo,
+    underlying_object,
+)
+from .basic_aa import BasicAA, alloca_is_captured, decompose_pointer, is_identified_object
+from .cfg import predecessor_map, reachable_blocks, reverse_postorder, successor_map
+from .cfl_anders_aa import CFLAndersAA
+from .cfl_steens_aa import CFLSteensAA
+from .dominators import DominatorTree
+from .globals_aa import GlobalsAA, global_is_address_taken
+from .loops import Loop, LoopInfo, loop_trip_count
+from .memloc import BEFORE_OR_AFTER, LocationSize, MemoryLocation
+from .memory_ssa import (
+    LiveOnEntry,
+    MemoryAccess,
+    MemoryDef,
+    MemoryPhi,
+    MemorySSA,
+    MemoryUse,
+)
+from .scoped_noalias_aa import ScopedNoAliasAA
+from .tbaa import TypeBasedAA
+
+#: The default chain order, mirroring LLVM's -O pipelines: BasicAA first,
+#: then metadata-based analyses, then module-level GlobalsAA.  The CFL
+#: analyses exist but are not enabled by default (paper §I lists all seven).
+DEFAULT_AA_CHAIN = ("basic-aa", "scoped-noalias-aa", "tbaa", "globals-aa")
+
+ALL_AA_PASSES = {
+    "basic-aa": BasicAA,
+    "scoped-noalias-aa": ScopedNoAliasAA,
+    "tbaa": TypeBasedAA,
+    "globals-aa": GlobalsAA,
+    "cfl-steens-aa": CFLSteensAA,
+    "cfl-anders-aa": CFLAndersAA,
+}
+
+
+def build_aa_chain(names=DEFAULT_AA_CHAIN, oraql=None) -> AAResults:
+    """Construct an AAResults with the named analyses, in order, and an
+    optional ORAQL pass appended last (paper §III)."""
+    return AAResults([ALL_AA_PASSES[n]() for n in names], oraql=oraql)
+
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,193 @@
+"""The alias-analysis framework: results, the chain, and mod/ref info.
+
+Semantics mirror LLVM's ``AAResults`` aggregation (paper §III): analyses
+are consulted in a fixed order; the first definite answer (``no`` /
+``must`` / ``partial``) wins; if every analysis answers ``may``, the
+aggregate result is ``may`` — unless an ORAQL pass is appended, in which
+case the residual query is delegated to it.
+
+The chain also keeps the counters the evaluation reports (Fig. 4):
+the total number of ``no-alias`` responses across *all* analyses, and
+per-pass attribution of who issued each query.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from typing import Dict, List, Optional, Protocol, Tuple
+
+from ..ir.function import Function
+from ..ir.instructions import (
+    CallInst,
+    Instruction,
+    LoadInst,
+    MemCpyInst,
+    MemSetInst,
+    StoreInst,
+)
+from ..ir.values import Value
+from .memloc import MemoryLocation
+
+
+class AliasResult(enum.Enum):
+    """The four-valued answer of an alias query."""
+
+    NO = "NoAlias"
+    MAY = "MayAlias"
+    PARTIAL = "PartialAlias"
+    MUST = "MustAlias"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class ModRefInfo(enum.Flag):
+    """Whether an instruction may read (Ref) / write (Mod) a location."""
+
+    NO = 0
+    REF = enum.auto()
+    MOD = enum.auto()
+    MODREF = REF | MOD
+
+
+class AliasAnalysisPass:
+    """Base class for one analysis in the chain."""
+
+    name: str = "aa"
+
+    def alias(self, a: MemoryLocation, b: MemoryLocation,
+              fn: Optional[Function]) -> AliasResult:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<AA {self.name}>"
+
+
+class AAResults:
+    """The per-module AA chain with counters and pass attribution.
+
+    ``current_pass`` is maintained by the pass manager (the way LLVM's
+    ``-debug-pass=Executions`` identifies the issuing pass for ORAQL's
+    dump, paper §IV-D).
+    """
+
+    def __init__(self, analyses: List[AliasAnalysisPass],
+                 oraql: Optional["object"] = None,
+                 override: Optional["object"] = None):
+        self.analyses = list(analyses)
+        self.oraql = oraql  # OraqlAAPass | None; consulted last
+        #: OraqlOverridePass | None; consulted FIRST — may hide the
+        #: chain's answers entirely (the paper's §VIII design)
+        self.override = override
+        self.current_pass: str = "<none>"
+        self.current_function: Optional[Function] = None
+        # counters (Fig. 4 columns)
+        self.no_alias_count = 0
+        self.must_alias_count = 0
+        self.total_queries = 0
+        self.no_alias_by_pass: Counter = Counter()
+        self.queries_by_issuer: Counter = Counter()
+
+    # -- the core query -------------------------------------------------------
+    def alias(self, a: MemoryLocation, b: MemoryLocation) -> AliasResult:
+        self.total_queries += 1
+        self.queries_by_issuer[self.current_pass] += 1
+        fn = self.current_function
+        if self.override is not None and \
+                self.override.should_force_may(a, b, fn):
+            return AliasResult.MAY
+        for analysis in self.analyses:
+            r = analysis.alias(a, b, fn)
+            if r is not AliasResult.MAY:
+                self._record(r, analysis.name)
+                return r
+        if self.oraql is not None:
+            r = self.oraql.answer(a, b, fn, self.current_pass)
+            if r is not AliasResult.MAY:
+                self._record(r, self.oraql.name)
+                return r
+        return AliasResult.MAY
+
+    def _record(self, r: AliasResult, source: str) -> None:
+        if r is AliasResult.NO:
+            self.no_alias_count += 1
+            self.no_alias_by_pass[source] += 1
+        elif r is AliasResult.MUST:
+            self.must_alias_count += 1
+
+    # -- convenience forms ------------------------------------------------
+    def is_no_alias(self, a: MemoryLocation, b: MemoryLocation) -> bool:
+        return self.alias(a, b) is AliasResult.NO
+
+    def is_must_alias(self, a: MemoryLocation, b: MemoryLocation) -> bool:
+        return self.alias(a, b) is AliasResult.MUST
+
+    def alias_insts(self, ia: Instruction, ib: Instruction) -> AliasResult:
+        return self.alias(MemoryLocation.get(ia), MemoryLocation.get(ib))
+
+    # -- mod/ref ---------------------------------------------------------
+    def get_mod_ref(self, inst: Instruction, loc: MemoryLocation) -> ModRefInfo:
+        """May ``inst`` read/write the memory at ``loc``?"""
+        if isinstance(inst, LoadInst):
+            if self.alias(MemoryLocation.get(inst), loc) is AliasResult.NO:
+                return ModRefInfo.NO
+            return ModRefInfo.REF
+        if isinstance(inst, StoreInst):
+            if self.alias(MemoryLocation.get(inst), loc) is AliasResult.NO:
+                return ModRefInfo.NO
+            return ModRefInfo.MOD
+        if isinstance(inst, MemCpyInst):
+            mr = ModRefInfo.NO
+            if self.alias(MemoryLocation.for_dst(inst), loc) is not AliasResult.NO:
+                mr |= ModRefInfo.MOD
+            if self.alias(MemoryLocation.for_src(inst), loc) is not AliasResult.NO:
+                mr |= ModRefInfo.REF
+            return mr
+        if isinstance(inst, MemSetInst):
+            if self.alias(MemoryLocation.for_dst(inst), loc) is AliasResult.NO:
+                return ModRefInfo.NO
+            return ModRefInfo.MOD
+        if isinstance(inst, CallInst):
+            if inst.is_pure():
+                return ModRefInfo.NO
+            if inst.only_reads_memory():
+                return ModRefInfo.REF
+            return ModRefInfo.MODREF
+        if inst.may_write_memory():
+            return ModRefInfo.MODREF
+        if inst.may_read_memory():
+            return ModRefInfo.REF
+        return ModRefInfo.NO
+
+    def snapshot_counters(self) -> Dict[str, int]:
+        return {
+            "no_alias": self.no_alias_count,
+            "must_alias": self.must_alias_count,
+            "total": self.total_queries,
+        }
+
+
+def underlying_object(ptr: Value, max_lookup: int = 12) -> Value:
+    """Strip GEPs / bitcasts / pointer-select-with-same-base to the base
+    object (LLVM's ``getUnderlyingObject``)."""
+    from ..ir.instructions import CastInst, GEPInst, PhiInst, SelectInst
+
+    seen = 0
+    v = ptr
+    while seen < max_lookup:
+        seen += 1
+        if isinstance(v, GEPInst):
+            v = v.pointer
+        elif isinstance(v, CastInst) and v.op == "bitcast":
+            v = v.value
+        elif isinstance(v, SelectInst):
+            t, f = v.operands[1], v.operands[2]
+            ut, uf = underlying_object(t, max_lookup - seen), underlying_object(
+                f, max_lookup - seen)
+            if ut is uf:
+                return ut
+            return v
+        else:
+            return v
+    return v

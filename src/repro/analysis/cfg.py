@@ -1,0 +1,46 @@
+"""CFG utilities: cached predecessor/successor maps and orderings."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+
+
+def successor_map(fn: Function) -> Dict[BasicBlock, List[BasicBlock]]:
+    return {bb: bb.successors for bb in fn.blocks}
+
+
+def predecessor_map(fn: Function) -> Dict[BasicBlock, List[BasicBlock]]:
+    preds: Dict[BasicBlock, List[BasicBlock]] = {bb: [] for bb in fn.blocks}
+    for bb in fn.blocks:
+        for s in bb.successors:
+            preds[s].append(bb)
+    return preds
+
+
+def reverse_postorder(fn: Function) -> List[BasicBlock]:
+    """Reverse postorder over reachable blocks, entry first."""
+    seen: Set[BasicBlock] = set()
+    post: List[BasicBlock] = []
+    # iterative DFS to avoid recursion limits on long CFG chains
+    stack: List[tuple] = [(fn.entry, iter(fn.entry.successors))]
+    seen.add(fn.entry)
+    while stack:
+        node, it = stack[-1]
+        advanced = False
+        for succ in it:
+            if succ not in seen:
+                seen.add(succ)
+                stack.append((succ, iter(succ.successors)))
+                advanced = True
+                break
+        if not advanced:
+            post.append(node)
+            stack.pop()
+    return post[::-1]
+
+
+def reachable_blocks(fn: Function) -> Set[BasicBlock]:
+    return set(reverse_postorder(fn))

@@ -1,0 +1,84 @@
+"""GlobalsAA: module-level reasoning about non-address-taken globals.
+
+A global whose address is only ever used directly in loads, stores (as
+the *pointer*), and GEPs cannot be the target of any pointer that flows
+through memory, arguments, or calls — so such pointers never alias it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from ..ir.function import Function
+from ..ir.instructions import (
+    CallInst,
+    CastInst,
+    GEPInst,
+    LoadInst,
+    PhiInst,
+    ReturnInst,
+    SelectInst,
+    StoreInst,
+)
+from ..ir.module import Module
+from ..ir.values import Argument, GlobalVariable, Value
+from .aliasing import AliasAnalysisPass, AliasResult, underlying_object
+from .memloc import MemoryLocation
+
+
+def global_is_address_taken(gv: GlobalVariable, budget: int = 128) -> bool:
+    work = [gv]
+    seen: Set[Value] = set()
+    while work:
+        v = work.pop()
+        if v in seen:
+            continue
+        seen.add(v)
+        for user in v.users:
+            budget -= 1
+            if budget <= 0:
+                return True
+            if isinstance(user, (GEPInst,)):
+                work.append(user)
+            elif isinstance(user, CastInst):
+                if user.op == "ptrtoint":
+                    return True
+                work.append(user)
+            elif isinstance(user, LoadInst):
+                continue
+            elif isinstance(user, StoreInst):
+                if user.value is v:
+                    return True
+            elif isinstance(user, (CallInst, ReturnInst, PhiInst, SelectInst)):
+                return True
+    return False
+
+
+class GlobalsAA(AliasAnalysisPass):
+    """Caches the address-taken verdict per global for the module run."""
+
+    name = "globals-aa"
+
+    def __init__(self, module: Optional[Module] = None):
+        self.module = module
+        self._cache: Dict[int, bool] = {}
+
+    def _address_taken(self, gv: GlobalVariable) -> bool:
+        hit = self._cache.get(gv.id)
+        if hit is None:
+            hit = global_is_address_taken(gv)
+            self._cache[gv.id] = hit
+        return hit
+
+    def invalidate(self) -> None:
+        self._cache.clear()
+
+    def alias(self, a: MemoryLocation, b: MemoryLocation,
+              fn: Optional[Function]) -> AliasResult:
+        ua = underlying_object(a.ptr)
+        ub = underlying_object(b.ptr)
+        for g, other in ((ua, ub), (ub, ua)):
+            if isinstance(g, GlobalVariable) and not self._address_taken(g):
+                if isinstance(other, (Argument, LoadInst, CallInst)):
+                    return AliasResult.NO
+        return AliasResult.MAY

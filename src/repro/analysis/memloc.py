@@ -1,0 +1,114 @@
+"""Memory locations and location sizes (LLVM's MemoryLocation equivalent).
+
+An alias query is about two *locations*: a pointer plus a location size
+describing how much memory around the pointer is in question.  ORAQL's
+query cache deliberately ignores the sizes and keys only on the pointer
+pair (paper §IV-A); the dump format prints them (Fig. 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..ir.instructions import (
+    CallInst,
+    Instruction,
+    LoadInst,
+    MemCpyInst,
+    MemSetInst,
+    StoreInst,
+)
+from ..ir.metadata import ScopedAliasMD, TBAANode
+from ..ir.values import ConstantInt, Value
+
+
+@dataclass(frozen=True)
+class LocationSize:
+    """Size of a memory access: precise, an upper bound, or unknown.
+
+    ``beforeOrAfterPointer`` means the access may span memory both before
+    and after the pointer (the most conservative option, used e.g. for
+    whole-object queries like the ``%this`` query in Fig. 3).
+    """
+
+    value: Optional[int]  # bytes; None = unknown
+    precise: bool = True
+
+    @staticmethod
+    def precise_(n: int) -> "LocationSize":
+        return LocationSize(n, True)
+
+    @staticmethod
+    def upper_bound(n: int) -> "LocationSize":
+        return LocationSize(n, False)
+
+    @staticmethod
+    def before_or_after_pointer() -> "LocationSize":
+        return LocationSize(None, False)
+
+    @property
+    def has_value(self) -> bool:
+        return self.value is not None
+
+    def __str__(self) -> str:
+        if self.value is None:
+            return "LocationSize::beforeOrAfterPointer"
+        kind = "precise" if self.precise else "upperBound"
+        return f"LocationSize::{kind}({self.value})"
+
+
+BEFORE_OR_AFTER = LocationSize.before_or_after_pointer()
+
+
+@dataclass(frozen=True)
+class MemoryLocation:
+    """A (pointer, size) pair plus the metadata AA implementations consume."""
+
+    ptr: Value
+    size: LocationSize
+    tbaa: Optional[TBAANode] = None
+    scoped: Optional[ScopedAliasMD] = None
+
+    # -- factories ----------------------------------------------------------
+    @staticmethod
+    def get(inst: Instruction) -> "MemoryLocation":
+        """The location accessed by a memory instruction."""
+        if isinstance(inst, LoadInst):
+            return MemoryLocation(
+                inst.pointer, LocationSize.precise_(inst.type.size()),
+                inst.tbaa, inst.scoped)
+        if isinstance(inst, StoreInst):
+            return MemoryLocation(
+                inst.pointer, LocationSize.precise_(inst.value.type.size()),
+                inst.tbaa, inst.scoped)
+        if isinstance(inst, MemSetInst):
+            return MemoryLocation.for_dst(inst)
+        raise TypeError(f"no single location for {inst.opcode}")
+
+    @staticmethod
+    def for_size_operand(ptr: Value, size: Value, inst: Instruction) -> "MemoryLocation":
+        if isinstance(size, ConstantInt):
+            ls = LocationSize.precise_(size.value)
+        else:
+            ls = BEFORE_OR_AFTER
+        return MemoryLocation(ptr, ls, inst.tbaa, inst.scoped)
+
+    @staticmethod
+    def for_src(inst: MemCpyInst) -> "MemoryLocation":
+        return MemoryLocation.for_size_operand(inst.src, inst.size, inst)
+
+    @staticmethod
+    def for_dst(inst) -> "MemoryLocation":
+        return MemoryLocation.for_size_operand(inst.dst, inst.size, inst)
+
+    @staticmethod
+    def whole_object(ptr: Value) -> "MemoryLocation":
+        """A query about the entire object behind ``ptr`` (e.g. ``%this``)."""
+        return MemoryLocation(ptr, BEFORE_OR_AFTER)
+
+    def with_size(self, size: LocationSize) -> "MemoryLocation":
+        return MemoryLocation(self.ptr, size, self.tbaa, self.scoped)
+
+    def __str__(self) -> str:
+        return f"{self.ptr.short()} [{self.size}]"

@@ -1,0 +1,30 @@
+"""Scoped-noalias AA over ``!alias.scope`` / ``!noalias`` metadata.
+
+The frontend attaches a fresh scope to each ``restrict`` pointer's
+accesses and lists that scope in the ``noalias`` set of every access not
+based on it; this pass turns those certificates into no-alias answers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ir.function import Function
+from .aliasing import AliasAnalysisPass, AliasResult
+from .memloc import MemoryLocation
+
+
+class ScopedNoAliasAA(AliasAnalysisPass):
+    name = "scoped-noalias-aa"
+
+    def alias(self, a: MemoryLocation, b: MemoryLocation,
+              fn: Optional[Function]) -> AliasResult:
+        sa, sb = a.scoped, b.scoped
+        if sa is None or sb is None:
+            return AliasResult.MAY
+        # a is provably outside every scope b belongs to (or vice versa)
+        if sb.alias_scopes and set(sb.alias_scopes) <= set(sa.noalias_scopes):
+            return AliasResult.NO
+        if sa.alias_scopes and set(sa.alias_scopes) <= set(sb.noalias_scopes):
+            return AliasResult.NO
+        return AliasResult.MAY

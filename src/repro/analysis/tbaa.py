@@ -1,0 +1,25 @@
+"""Type-based alias analysis over ``!tbaa`` access tags (strict aliasing)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ir.function import Function
+from ..ir.metadata import tbaa_alias
+from .aliasing import AliasAnalysisPass, AliasResult
+from .memloc import MemoryLocation
+
+
+class TypeBasedAA(AliasAnalysisPass):
+    """Answers ``no-alias`` when the two access tags live in disjoint
+    branches of the TBAA tree; never answers ``must``."""
+
+    name = "tbaa"
+
+    def alias(self, a: MemoryLocation, b: MemoryLocation,
+              fn: Optional[Function]) -> AliasResult:
+        if a.tbaa is None or b.tbaa is None:
+            return AliasResult.MAY
+        if not tbaa_alias(a.tbaa, b.tbaa):
+            return AliasResult.NO
+        return AliasResult.MAY

@@ -1,0 +1,16 @@
+"""repro.codegen — machine-level accounting: lowering, register
+allocation (spills), asm printing (instruction counts), GPU kernels."""
+
+from .asm_printer import FunctionCodegen, SPILL_OVERHEAD, codegen_function, run_codegen
+from .gpu import KernelInfo, compile_device_kernels, compile_kernel
+from .lowering import (
+    LiveInterval,
+    LoweredFunction,
+    gpu_register_width,
+    lower_function,
+    machine_inst_count,
+    register_class,
+)
+from .regalloc import AllocationResult, DEFAULT_REGS, gpu_pressure, linear_scan
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,53 @@
+"""GPU codegen: per-kernel static properties (Fig. 7).
+
+For every device-target kernel we report the number of (32-bit) registers
+and the stack-frame size in bytes — the two columns of Fig. 7.  More
+optimistic alias information changes both: eliminated loads shrink the
+frame and can either shrink register demand (shorter live ranges) or
+grow it (hoisted values live across the whole kernel).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..ir.function import Function
+from ..ir.module import Module
+from .lowering import lower_function
+from .regalloc import gpu_pressure
+
+
+@dataclass
+class KernelInfo:
+    """Static properties of one compiled GPU kernel."""
+
+    name: str
+    registers: int
+    stack_bytes: int
+    machine_insts: int
+
+    def __str__(self) -> str:
+        return (f"{self.name}: {self.registers} regs, "
+                f"{self.stack_bytes} B stack")
+
+
+def compile_kernel(fn: Function) -> KernelInfo:
+    lowered = lower_function(fn)
+    regs = gpu_pressure(lowered)
+    # GPU stack frames hold allocas that survived optimization (spilling
+    # to local memory only kicks in at the register ceiling)
+    frame = lowered.frame_bytes
+    if regs >= 255:
+        frame += 64  # spill slab once the register file is exhausted
+    return KernelInfo(fn.name, regs, frame, lowered.machine_insts)
+
+
+def compile_device_kernels(module: Module,
+                           target: str = "nvptx") -> Dict[str, KernelInfo]:
+    """Compile every kernel-attributed device function."""
+    out: Dict[str, KernelInfo] = {}
+    for fn in module.defined_functions():
+        if fn.target == target:
+            out[fn.name] = compile_kernel(fn)
+    return out

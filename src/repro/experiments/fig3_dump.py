@@ -1,0 +1,49 @@
+"""Fig. 3: the ORAQL debug dump of pessimistic queries.
+
+The paper shows the four pessimistically-answered non-cached queries of
+the TestSNAP OpenMP build, printed with
+``-opt-aa-dump-{first,pessimistic}`` and preceded by the issuing pass
+(``-debug-pass=Executions``).  We regenerate the same dump for our
+TestSNAP OpenMP configuration: each entry shows the response kind, the
+cache status, the two locations with their LocationSize, the scope
+(the outlined ``compute_deidrj`` region), and the source lines.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..oraql import Compiler, DumpFlags, ProbingDriver, render_pessimistic_dump
+from ..oraql.sequence import sequence_from_pessimistic_set
+from ..workloads.base import get_config
+
+
+def run_fig3(config_row: str = "TestSNAP-openmp",
+             strategy: str = "chunked") -> str:
+    """Probe the config, then re-compile with the final sequence and the
+    dump flags enabled, returning the Fig. 3-style text."""
+    cfg = get_config(config_row)
+    report = ProbingDriver(cfg, strategy=strategy).run()
+    # re-compile with dumping on to produce the debug output for real
+    prog = Compiler().compile(
+        cfg, sequence=sequence_from_pessimistic_set(
+            set(report.pessimistic_indices)),
+        oraql_enabled=True,
+        dump=DumpFlags(first=True, cached=False, optimistic=False,
+                       pessimistic=True),
+        debug_pass_executions=True)
+    # the interleaved debug log contains "Executing Pass ..." lines and
+    # the [ORAQL] blocks — extract the ORAQL-relevant portion
+    lines: List[str] = []
+    log = prog.ctx.debug_log
+    for i, line in enumerate(log):
+        if line.startswith("[ORAQL]"):
+            # attach the most recent pass-execution line once
+            for j in range(i - 1, -1, -1):
+                if log[j].startswith("Executing Pass"):
+                    if not lines or lines[-1] != log[j]:
+                        if log[j] not in lines:
+                            lines.append(log[j])
+                    break
+            lines.append(line)
+    return "\n".join(lines) if lines else render_pessimistic_dump(report)

@@ -1,0 +1,39 @@
+"""Fig. 5: software versions.
+
+The paper records the exact LLVM / Flang / CUDA / Kokkos versions its
+results are a snapshot of.  Our substrate versions are the analogous
+provenance record for this reproduction.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Tuple
+
+from .tables import render_table
+
+#: (component, provenance) — the reproduction's analogue of Fig. 5
+VERSIONS: List[Tuple[str, str]] = [
+    ("repro (this package)", "1.0.0"),
+    ("repro IR / AA / passes", "bundled (src/repro, pure Python)"),
+    ("MiniC frontend", "bundled (src/repro/frontend)"),
+    ("VM / cost model", "bundled (src/repro/vm)"),
+    ("Python", sys.version.split()[0]),
+]
+
+PAPER_VERSIONS: List[Tuple[str, str]] = [
+    ("LLVM", "git ea7be7e"),
+    ("LLVM/Flang (fir-dev)", "git 972e1f8"),
+    ("Legacy Flang", "git b90b722"),
+    ("CUDA", "11.4.0"),
+    ("Kokkos", "3.5.0"),
+]
+
+
+def render_fig5() -> str:
+    rows = [(c, v) for c, v in VERSIONS]
+    ours = render_table(["Component", "Version"], rows,
+                        title="Fig. 5 — software versions (this reproduction)")
+    paper = render_table(["Component", "Version"], PAPER_VERSIONS,
+                         title="Fig. 5 — software versions (paper)")
+    return ours + "\n\n" + paper

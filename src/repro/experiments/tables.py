@@ -1,0 +1,30 @@
+"""Table rendering helpers for the experiment harness."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str = "") -> str:
+    cols = len(headers)
+    srows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in srows:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    out: List[str] = []
+    if title:
+        out.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    out.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    out.append(sep)
+    for row in srows:
+        out.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def pct(new: float, old: float) -> str:
+    if old == 0:
+        return "n/a"
+    return f"{100.0 * (new - old) / old:+.1f}%"

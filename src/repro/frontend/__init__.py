@@ -1,0 +1,22 @@
+"""repro.frontend — the MiniC frontend (lexer, parser, IR codegen).
+
+MiniC is the C-like source language for this reproduction's benchmarks:
+C's expression/statement core with ``restrict``, strict-aliasing TBAA,
+``#pragma omp parallel for`` outlining, and CUDA-style ``__global__``
+kernels launched via ``launch(k, grid, block, ...)``.
+"""
+
+from .ast_nodes import CType, FunctionDef, TranslationUnit
+from .codegen import (
+    BUILTINS,
+    CodeGen,
+    CodegenError,
+    FnEmitter,
+    FrontendOptions,
+    compile_source,
+)
+from .lexer import LexError, Token, tokenize
+from .omp import OmpError
+from .parser import ParseError, Parser, parse
+
+__all__ = [name for name in dir() if not name.startswith("_")]

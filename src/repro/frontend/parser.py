@@ -1,0 +1,476 @@
+"""MiniC recursive-descent parser."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .ast_nodes import (
+    Assign,
+    Binary,
+    Block,
+    Break,
+    Call,
+    CastExpr,
+    Continue,
+    CType,
+    DeclStmt,
+    Expr,
+    ExprStmt,
+    FloatLit,
+    For,
+    FunctionDef,
+    GlobalDecl,
+    Ident,
+    If,
+    Index,
+    IntLit,
+    Member,
+    Param,
+    Return,
+    SizeofExpr,
+    Stmt,
+    StrLit,
+    StructDef,
+    Ternary,
+    TranslationUnit,
+    Unary,
+    While,
+)
+from .lexer import Token, tokenize
+
+BASE_TYPES = {"void", "int", "long", "double", "float", "char"}
+
+_PRECEDENCE = [
+    ("||",),
+    ("&&",),
+    ("|",),
+    ("^",),
+    ("&",),
+    ("==", "!="),
+    ("<", "<=", ">", ">="),
+    ("<<", ">>"),
+    ("+", "-"),
+    ("*", "/", "%"),
+]
+
+
+class ParseError(Exception):
+    pass
+
+
+class Parser:
+    def __init__(self, source: str, filename: str = "<minic>"):
+        self.tokens = tokenize(source, filename)
+        self.pos = 0
+        self.filename = filename
+        self.struct_names = set()
+
+    # -- token plumbing ----------------------------------------------------
+    @property
+    def tok(self) -> Token:
+        return self.tokens[self.pos]
+
+    def peek(self, k: int = 1) -> Token:
+        return self.tokens[min(self.pos + k, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        t = self.tok
+        self.pos += 1
+        return t
+
+    def err(self, msg: str) -> ParseError:
+        t = self.tok
+        return ParseError(f"{self.filename}:{t.line}: {msg} (got {t.text!r})")
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        t = self.tok
+        if t.kind != kind or (text is not None and t.text != text):
+            raise self.err(f"expected {text or kind}")
+        return self.advance()
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        t = self.tok
+        if t.kind == kind and (text is None or t.text == text):
+            return self.advance()
+        return None
+
+    # -- types ------------------------------------------------------------
+    def at_type(self) -> bool:
+        t = self.tok
+        if t.kind == "kw" and (t.text in BASE_TYPES or t.text == "struct"
+                               or t.text in ("const", "static", "extern")):
+            return True
+        return False
+
+    def parse_type(self) -> CType:
+        while self.accept("kw", "const") or self.accept("kw", "static") \
+                or self.accept("kw", "extern"):
+            pass
+        t = self.tok
+        if t.kind != "kw":
+            raise self.err("expected type")
+        if t.text == "struct":
+            self.advance()
+            name = self.expect("id").text
+            base = f"struct {name}"
+        elif t.text in BASE_TYPES:
+            base = self.advance().text
+            if base == "long" and self.tok.kind == "kw" \
+                    and self.tok.text in ("long", "int"):
+                self.advance()  # long long / long int
+        else:
+            raise self.err("expected type")
+        ty = CType(base)
+        while True:
+            if self.accept("op", "*"):
+                ty = CType(ty.base, ty.pointers + 1, ty.array_dims)
+            elif self.accept("kw", "restrict"):
+                ty.restrict = True
+            elif self.accept("kw", "const"):
+                ty.const = True
+            else:
+                break
+        return ty
+
+    # -- top level -----------------------------------------------------------
+    def parse(self, unit_name: str = "unit") -> TranslationUnit:
+        tu = TranslationUnit(unit_name)
+        while self.tok.kind != "eof":
+            if self.tok.kind == "pragma":
+                self.advance()  # stray pragma at file scope: ignore
+                continue
+            if self.tok.kind == "kw" and self.tok.text == "struct" \
+                    and self.peek(2).text == "{":
+                tu.structs.append(self.parse_struct())
+                continue
+            is_kernel = bool(self.accept("kw", "__global__"))
+            ty = self.parse_type()
+            name = self.expect("id").text
+            if self.tok.text == "(":
+                tu.functions.append(self.parse_function(ty, name, is_kernel))
+            else:
+                tu.globals.append(self.parse_global(ty, name))
+        return tu
+
+    def parse_struct(self) -> StructDef:
+        line = self.tok.line
+        self.expect("kw", "struct")
+        name = self.expect("id").text
+        self.struct_names.add(name)
+        self.expect("op", "{")
+        fields: List[Param] = []
+        while not self.accept("op", "}"):
+            fty = self.parse_type()
+            fname = self.expect("id").text
+            dims = []
+            while self.accept("op", "["):
+                dims.append(int(self.expect("num").text, 0))
+                self.expect("op", "]")
+            fty = CType(fty.base, fty.pointers, tuple(dims))
+            fields.append(Param(fty, fname))
+            self.expect("op", ";")
+        self.expect("op", ";")
+        return StructDef(name, fields, line)
+
+    def parse_global(self, ty: CType, name: str) -> GlobalDecl:
+        line = self.tok.line
+        dims = []
+        while self.accept("op", "["):
+            dims.append(int(self.expect("num").text, 0))
+            self.expect("op", "]")
+        ty = CType(ty.base, ty.pointers, tuple(dims), ty.restrict, ty.const)
+        init = None
+        init_list = None
+        if self.accept("op", "="):
+            if self.accept("op", "{"):
+                init_list = []
+                while not self.accept("op", "}"):
+                    init_list.append(self.parse_assignment())
+                    self.accept("op", ",")
+            else:
+                init = self.parse_assignment()
+        self.expect("op", ";")
+        return GlobalDecl(ty, name, init, init_list, line)
+
+    def parse_function(self, ret: CType, name: str,
+                       is_kernel: bool) -> FunctionDef:
+        line = self.tok.line
+        self.expect("op", "(")
+        params: List[Param] = []
+        if not self.accept("op", ")"):
+            while True:
+                if self.tok.kind == "kw" and self.tok.text == "void" \
+                        and self.peek().text == ")":
+                    self.advance()
+                    break
+                pty = self.parse_type()
+                pname = self.expect("id").text
+                dims = []
+                while self.accept("op", "["):
+                    # array parameters decay to pointers
+                    if self.tok.kind == "num":
+                        self.advance()
+                    self.expect("op", "]")
+                    dims.append(0)
+                if dims:
+                    pty = CType(pty.base, pty.pointers + len(dims), (),
+                                pty.restrict)
+                params.append(Param(pty, pname))
+                if not self.accept("op", ","):
+                    break
+            self.expect("op", ")")
+        if self.accept("op", ";"):
+            return FunctionDef(ret, name, params, None, is_kernel, line)
+        body = self.parse_block()
+        return FunctionDef(ret, name, params, body, is_kernel, line)
+
+    # -- statements -----------------------------------------------------------
+    def parse_block(self) -> Block:
+        line = self.tok.line
+        self.expect("op", "{")
+        stmts: List[Stmt] = []
+        while not self.accept("op", "}"):
+            stmts.append(self.parse_statement())
+        return Block(line, stmts)
+
+    def parse_statement(self) -> Stmt:
+        t = self.tok
+        if t.kind == "pragma":
+            self.advance()
+            is_omp_for = "omp" in t.text and "for" in t.text \
+                and "parallel" in t.text
+            stmt = self.parse_statement()
+            if is_omp_for and isinstance(stmt, For):
+                stmt.omp_parallel = True
+            return stmt
+        if t.kind == "op" and t.text == "{":
+            return self.parse_block()
+        if t.kind == "kw":
+            if t.text == "if":
+                return self.parse_if()
+            if t.text == "while":
+                return self.parse_while()
+            if t.text == "do":
+                return self.parse_do_while()
+            if t.text == "for":
+                return self.parse_for()
+            if t.text == "return":
+                self.advance()
+                value = None
+                if self.tok.text != ";":
+                    value = self.parse_expr()
+                self.expect("op", ";")
+                return Return(t.line, value)
+            if t.text == "break":
+                self.advance()
+                self.expect("op", ";")
+                return Break(t.line)
+            if t.text == "continue":
+                self.advance()
+                self.expect("op", ";")
+                return Continue(t.line)
+            if t.text in BASE_TYPES or t.text == "struct" \
+                    or t.text in ("const", "static"):
+                return self.parse_decl()
+        expr = self.parse_expr()
+        self.expect("op", ";")
+        return ExprStmt(t.line, expr)
+
+    def parse_decl(self) -> Stmt:
+        line = self.tok.line
+        ty = self.parse_type()
+        name = self.expect("id").text
+        dims = []
+        while self.accept("op", "["):
+            dims.append(int(self.expect("num").text, 0))
+            self.expect("op", "]")
+        ty = CType(ty.base, ty.pointers, tuple(dims), ty.restrict, ty.const)
+        init = None
+        init_list = None
+        if self.accept("op", "="):
+            if self.accept("op", "{"):
+                init_list = []
+                while not self.accept("op", "}"):
+                    init_list.append(self.parse_assignment())
+                    self.accept("op", ",")
+            else:
+                init = self.parse_assignment()
+        self.expect("op", ";")
+        return DeclStmt(line, ty, name, init, init_list)
+
+    def parse_if(self) -> If:
+        line = self.tok.line
+        self.expect("kw", "if")
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        then = self.parse_statement()
+        other = None
+        if self.accept("kw", "else"):
+            other = self.parse_statement()
+        return If(line, cond, then, other)
+
+    def parse_while(self) -> While:
+        line = self.tok.line
+        self.expect("kw", "while")
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        body = self.parse_statement()
+        return While(line, cond, body)
+
+    def parse_do_while(self) -> Stmt:
+        line = self.tok.line
+        self.expect("kw", "do")
+        body = self.parse_statement()
+        self.expect("kw", "while")
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        self.expect("op", ";")
+        # desugar: body; while (cond) body
+        return Block(line, [body, While(line, cond, body)])
+
+    def parse_for(self) -> For:
+        line = self.tok.line
+        self.expect("kw", "for")
+        self.expect("op", "(")
+        init: Optional[Stmt] = None
+        if not self.accept("op", ";"):
+            if self.at_type():
+                init = self.parse_decl()
+            else:
+                init = ExprStmt(line, self.parse_expr())
+                self.expect("op", ";")
+        cond = None
+        if self.tok.text != ";":
+            cond = self.parse_expr()
+        self.expect("op", ";")
+        step = None
+        if self.tok.text != ")":
+            step = self.parse_expr()
+        self.expect("op", ")")
+        body = self.parse_statement()
+        return For(line, init, cond, step, body)
+
+    # -- expressions ---------------------------------------------------------
+    def parse_expr(self) -> Expr:
+        e = self.parse_assignment()
+        while self.accept("op", ","):
+            e = self.parse_assignment()  # comma: keep last (effects kept)
+        return e
+
+    def parse_assignment(self) -> Expr:
+        lhs = self.parse_ternary()
+        t = self.tok
+        if t.kind == "op" and t.text in ("=", "+=", "-=", "*=", "/=", "%=",
+                                         "&=", "|=", "^=", "<<=", ">>="):
+            self.advance()
+            rhs = self.parse_assignment()
+            return Assign(t.line, t.text, lhs, rhs)
+        return lhs
+
+    def parse_ternary(self) -> Expr:
+        cond = self.parse_binary(0)
+        if self.accept("op", "?"):
+            then = self.parse_assignment()
+            self.expect("op", ":")
+            other = self.parse_assignment()
+            return Ternary(cond.line, cond, then, other)
+        return cond
+
+    def parse_binary(self, level: int) -> Expr:
+        if level >= len(_PRECEDENCE):
+            return self.parse_unary()
+        lhs = self.parse_binary(level + 1)
+        ops = _PRECEDENCE[level]
+        while self.tok.kind == "op" and self.tok.text in ops:
+            t = self.advance()
+            rhs = self.parse_binary(level + 1)
+            lhs = Binary(t.line, t.text, lhs, rhs)
+        return lhs
+
+    def parse_unary(self) -> Expr:
+        t = self.tok
+        if t.kind == "op" and t.text in ("-", "!", "~", "&", "*"):
+            self.advance()
+            return Unary(t.line, t.text, self.parse_unary())
+        if t.kind == "op" and t.text in ("++", "--"):
+            self.advance()
+            return Unary(t.line, t.text, self.parse_unary())
+        if t.kind == "op" and t.text == "(" and self._at_cast():
+            self.advance()
+            ty = self.parse_type()
+            self.expect("op", ")")
+            return CastExpr(t.line, ty, self.parse_unary())
+        if t.kind == "kw" and t.text == "sizeof":
+            self.advance()
+            self.expect("op", "(")
+            ty = self.parse_type()
+            self.expect("op", ")")
+            return SizeofExpr(t.line, ty)
+        return self.parse_postfix()
+
+    def _at_cast(self) -> bool:
+        nxt = self.peek()
+        return nxt.kind == "kw" and (nxt.text in BASE_TYPES
+                                     or nxt.text == "struct")
+
+    def parse_postfix(self) -> Expr:
+        e = self.parse_primary()
+        while True:
+            t = self.tok
+            if t.kind == "op" and t.text == "[":
+                self.advance()
+                idx = self.parse_expr()
+                self.expect("op", "]")
+                e = Index(t.line, e, idx)
+            elif t.kind == "op" and t.text == ".":
+                self.advance()
+                name = self.expect("id").text
+                e = Member(t.line, e, name, False)
+            elif t.kind == "op" and t.text == "->":
+                self.advance()
+                name = self.expect("id").text
+                e = Member(t.line, e, name, True)
+            elif t.kind == "op" and t.text in ("++", "--"):
+                self.advance()
+                e = Unary(t.line, "p" + t.text, e)
+            else:
+                return e
+
+    def parse_primary(self) -> Expr:
+        t = self.tok
+        if t.kind == "num":
+            self.advance()
+            return IntLit(t.line, int(t.text, 0))
+        if t.kind == "fnum":
+            self.advance()
+            return FloatLit(t.line, float(t.text))
+        if t.kind == "str":
+            self.advance()
+            return StrLit(t.line, t.text)
+        if t.kind == "id":
+            self.advance()
+            if self.tok.kind == "op" and self.tok.text == "(":
+                self.advance()
+                args: List[Expr] = []
+                if not self.accept("op", ")"):
+                    while True:
+                        args.append(self.parse_assignment())
+                        if not self.accept("op", ","):
+                            break
+                    self.expect("op", ")")
+                return Call(t.line, t.text, args)
+            return Ident(t.line, t.text)
+        if t.kind == "op" and t.text == "(":
+            self.advance()
+            e = self.parse_expr()
+            self.expect("op", ")")
+            return e
+        raise self.err("expected expression")
+
+
+def parse(source: str, filename: str = "<minic>",
+          unit_name: str = "unit") -> TranslationUnit:
+    return Parser(source, filename).parse(unit_name)

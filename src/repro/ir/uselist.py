@@ -1,0 +1,44 @@
+"""Deterministic use-list: an insertion-ordered set.
+
+``Value.users`` must iterate in a reproducible order — Python sets order
+by object address, which made phi-insertion order (and therefore the
+printed module, and therefore the driver's executable hash) vary between
+identical compilations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator
+
+
+class UseList:
+    """Set semantics with insertion-ordered iteration (dict-backed)."""
+
+    __slots__ = ("_d",)
+
+    def __init__(self):
+        self._d: Dict[object, None] = {}
+
+    def add(self, item) -> None:
+        self._d[item] = None
+
+    def discard(self, item) -> None:
+        self._d.pop(item, None)
+
+    def clear(self) -> None:
+        self._d.clear()
+
+    def __contains__(self, item) -> bool:
+        return item in self._d
+
+    def __iter__(self) -> Iterator:
+        return iter(self._d)
+
+    def __len__(self) -> int:
+        return len(self._d)
+
+    def __bool__(self) -> bool:
+        return bool(self._d)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"UseList({list(self._d)!r})"

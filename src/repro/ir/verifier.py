@@ -1,0 +1,132 @@
+"""IR verifier: structural and SSA-dominance well-formedness checks.
+
+Run after the frontend and after every transformation pass in debug
+pipelines; a pass that produces ill-formed IR is a bug in the pass, not a
+miscompile to be attributed to ORAQL's optimism.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from .basicblock import BasicBlock
+from .function import Function
+from .instructions import (
+    BranchInst,
+    Instruction,
+    LoadInst,
+    PhiInst,
+    ReturnInst,
+    StoreInst,
+)
+from .module import Module
+from .values import Argument, Constant, GlobalVariable, Value
+
+
+class VerificationError(Exception):
+    """Raised when the IR violates a structural invariant."""
+
+
+def _check(cond: bool, msg: str) -> None:
+    if not cond:
+        raise VerificationError(msg)
+
+
+def verify_function(fn: Function) -> None:
+    from ..analysis.dominators import DominatorTree
+
+    _check(bool(fn.blocks), f"@{fn.name}: function has no blocks")
+    block_set: Set[BasicBlock] = set(fn.blocks)
+
+    for bb in fn.blocks:
+        _check(bb.parent is fn, f"@{fn.name}/{bb.name}: wrong parent")
+        term = bb.terminator
+        _check(term is not None, f"@{fn.name}/{bb.name}: missing terminator")
+        for i, inst in enumerate(bb.instructions):
+            _check(inst.parent is bb,
+                   f"@{fn.name}/{bb.name}: instruction parent mismatch")
+            if inst.is_terminator:
+                _check(i == len(bb.instructions) - 1,
+                       f"@{fn.name}/{bb.name}: terminator not last")
+            if isinstance(inst, PhiInst):
+                _check(i < len(bb.phis()),
+                       f"@{fn.name}/{bb.name}: phi not at block head")
+            if isinstance(inst, BranchInst):
+                for t in inst.targets:
+                    _check(t in block_set,
+                           f"@{fn.name}/{bb.name}: branch to foreign block")
+            if isinstance(inst, ReturnInst):
+                if fn.return_type.is_void:
+                    _check(inst.value is None,
+                           f"@{fn.name}: returning value from void function")
+                else:
+                    _check(inst.value is not None,
+                           f"@{fn.name}: missing return value")
+            if isinstance(inst, LoadInst):
+                _check(inst.pointer.type.is_pointer, f"@{fn.name}: load from non-pointer")
+                _check(inst.pointer.type.pointee == inst.type,
+                       f"@{fn.name}: load type mismatch")
+            if isinstance(inst, StoreInst):
+                _check(inst.pointer.type.pointee == inst.value.type,
+                       f"@{fn.name}: store type mismatch "
+                       f"({inst.value.type} into {inst.pointer.type})")
+
+    # phi incoming blocks must exactly match predecessors
+    preds = {bb: [] for bb in fn.blocks}
+    for bb in fn.blocks:
+        for s in bb.successors:
+            preds[s].append(bb)
+    for bb in fn.blocks:
+        for phi in bb.phis():
+            inc = set(id(b) for b in phi.incoming_blocks)
+            actual = set(id(b) for b in preds[bb])
+            _check(inc == actual,
+                   f"@{fn.name}/{bb.name}: phi incoming blocks {sorted(inc)} "
+                   f"!= predecessors {sorted(actual)}")
+
+    # SSA dominance: every use is dominated by its def
+    dt = DominatorTree(fn)
+    position = {}
+    for bb in fn.blocks:
+        for i, inst in enumerate(bb.instructions):
+            position[inst] = (bb, i)
+    for bb in fn.blocks:
+        if not dt.is_reachable(bb):
+            continue
+        for i, inst in enumerate(bb.instructions):
+            operands = inst.operands
+            for oi, op in enumerate(operands):
+                if not isinstance(op, Instruction):
+                    continue
+                if op not in position:
+                    raise VerificationError(
+                        f"@{fn.name}: use of erased instruction "
+                        f"{op.opcode} in {format_safe(inst)}")
+                dbb, di = position[op]
+                if isinstance(inst, PhiInst):
+                    # value must dominate the incoming edge's terminator
+                    pred = inst.incoming_blocks[oi]
+                    ok = dt.dominates_block(dbb, pred) if dbb is not pred else True
+                    _check(ok, f"@{fn.name}: phi operand does not dominate edge")
+                else:
+                    if dbb is bb:
+                        _check(di < i,
+                               f"@{fn.name}/{bb.name}: use before def of "
+                               f"{format_safe(op)}")
+                    else:
+                        _check(dt.dominates_block(dbb, bb),
+                               f"@{fn.name}: def in {dbb.name} does not "
+                               f"dominate use in {bb.name}")
+
+
+def format_safe(inst: Instruction) -> str:
+    try:
+        from .printer import format_instruction
+        return format_instruction(inst)
+    except Exception:  # pragma: no cover - printing must not mask errors
+        return repr(inst)
+
+
+def verify_module(mod: Module) -> None:
+    for fn in mod.defined_functions():
+        verify_function(fn)

@@ -1,0 +1,19 @@
+"""repro.oraql — the paper's contribution: the ORAQL pass, probing
+driver, and verification script (plus the compiler wrapper they drive).
+"""
+
+from .compiler import CompiledProgram, Compiler
+from .config import BenchmarkConfig, SourceFile
+from .driver import ProbingDriver, ProbingReport, TestOutcome
+from .override import ChainValueReport, OraqlOverridePass, measure_chain_value
+from .pass_ import DumpFlags, OraqlAAPass, QueryRecord
+from .report import render_pessimistic_dump, render_query, render_report
+from .sequence import (
+    ARG_MAX,
+    DecisionSequence,
+    all_optimistic,
+    sequence_from_pessimistic_set,
+)
+from .verify import RunResult, VerificationScript
+
+__all__ = [name for name in dir() if not name.startswith("_")]

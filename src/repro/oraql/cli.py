@@ -1,0 +1,103 @@
+"""``oraql`` command-line interface.
+
+Mirrors the paper's driver invocation: a benchmark configuration (JSON,
+or a bundled workload name like ``TestSNAP-openmp``), a probing
+strategy, and optional dump flags.
+
+Examples::
+
+    oraql --list
+    oraql --workload XSBench-seq
+    oraql --workload TestSNAP-openmp --dump-pessimistic --dump-first
+    oraql --config my_benchmark.json --strategy frequency
+    oraql --fig 4          # regenerate a paper table/figure
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="oraql",
+        description="ORAQL: find (almost) perfect alias information for a "
+                    "benchmark by optimistic probing.")
+    p.add_argument("--config", help="benchmark configuration JSON file")
+    p.add_argument("--workload", help="bundled workload row name "
+                                      "(see --list)")
+    p.add_argument("--list", action="store_true",
+                   help="list bundled workload configurations")
+    p.add_argument("--strategy", choices=["chunked", "frequency"],
+                   default="chunked")
+    p.add_argument("--fig", choices=["2", "3", "4", "5", "6", "7",
+                                     "runtimes"],
+                   help="regenerate a paper table/figure")
+    p.add_argument("--dump-first", action="store_true")
+    p.add_argument("--dump-cached", action="store_true")
+    p.add_argument("--dump-optimistic", action="store_true")
+    p.add_argument("--dump-pessimistic", action="store_true")
+    p.add_argument("--max-tests", type=int, default=10_000)
+    return p
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list:
+        from ..workloads.base import get_info, row_names
+        for name in row_names():
+            info = get_info(name)
+            print(f"{name:<28} {info.programming_model:<22} "
+                  f"[{info.source_files}]")
+        return 0
+
+    if args.fig:
+        return _run_fig(args.fig)
+
+    from .config import BenchmarkConfig
+    from .driver import ProbingDriver
+    from .report import render_report
+
+    if args.workload:
+        from ..workloads.base import get_config
+        cfg = BenchmarkConfig and get_config(args.workload)
+    elif args.config:
+        with open(args.config) as f:
+            cfg = BenchmarkConfig.from_json(f.read())
+    else:
+        print("error: one of --config / --workload / --list / --fig "
+              "is required", file=sys.stderr)
+        return 2
+
+    driver = ProbingDriver(cfg, strategy=args.strategy,
+                           max_tests=args.max_tests)
+    report = driver.run()
+    print(render_report(report))
+    return 0
+
+
+def _run_fig(which: str) -> int:
+    from .. import experiments as ex
+
+    if which == "2":
+        print(ex.render_fig2(ex.run_fig2()))
+    elif which == "3":
+        print(ex.run_fig3())
+    elif which == "4":
+        print(ex.render_fig4(ex.run_fig4()))
+    elif which == "5":
+        print(ex.render_fig5())
+    elif which == "6":
+        print(ex.render_fig6(ex.run_fig6()))
+    elif which == "7":
+        print(ex.render_fig7(ex.run_fig7()))
+    elif which == "runtimes":
+        print(ex.render_runtimes(ex.run_runtimes()))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

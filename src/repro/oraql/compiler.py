@@ -1,0 +1,154 @@
+"""The compilation entry point the probing driver invokes.
+
+Plays the role of the paper's ``clang -mllvm -opt-aa-seq=...``: MiniC
+sources → IR modules → (optional manual LTO link) → optimization
+pipeline with the ORAQL pass appended to the AA chain → "executable"
+(the optimized module plus codegen artifacts), runnable on the VM.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis import DEFAULT_AA_CHAIN
+from ..codegen import KernelInfo, compile_device_kernels, run_codegen
+from ..frontend import FrontendOptions, compile_source
+from ..ir import Module, module_hash, verify_module
+from ..passes import CompilationContext, PassManager, build_pipeline
+from ..vm import Machine, MPIWorld, VMError
+from .config import BenchmarkConfig
+from .pass_ import DumpFlags, OraqlAAPass
+from .sequence import DecisionSequence
+from .verify import RunResult
+
+
+@dataclass
+class CompiledProgram:
+    """An "executable": the optimized module plus everything needed to
+    run it and to report on the compilation."""
+
+    config: BenchmarkConfig
+    module: Module
+    ctx: CompilationContext
+    oraql: Optional[OraqlAAPass]
+    kernel_info: Dict[str, KernelInfo]
+    codegen: Dict[str, object]
+    exe_hash: str
+
+    # -- execution ---------------------------------------------------------
+    def run(self) -> RunResult:
+        cfg = self.config
+        try:
+            if cfg.nranks > 1:
+                machines = [
+                    Machine(self.module, max_steps=cfg.max_steps,
+                            kernel_info=self.kernel_info,
+                            num_threads=cfg.num_threads, argv=cfg.argv)
+                    for _ in range(cfg.nranks)
+                ]
+                for m in machines:
+                    m.start(cfg.entry)
+                MPIWorld(machines).run()
+                state = ("done" if all(m.state == "done" for m in machines)
+                         else "trapped")
+                err = next((str(m.error) for m in machines
+                            if m.error is not None), None)
+                out = "".join(m.output() for m in machines)
+                insts = sum(m.instructions for m in machines)
+                cycles = max(m.cycles for m in machines)
+                kcycles: Dict[str, float] = {}
+                for m in machines:
+                    for k, v in m.kernel_cycles.items():
+                        kcycles[k] = kcycles.get(k, 0.0) + v
+                return RunResult(out, state, err, insts, cycles, kcycles)
+            m = Machine(self.module, max_steps=cfg.max_steps,
+                        kernel_info=self.kernel_info,
+                        num_threads=cfg.num_threads, argv=cfg.argv)
+            m.start(cfg.entry)
+            m.run_to_completion()
+            return RunResult(m.output(), m.state,
+                             str(m.error) if m.error else None,
+                             m.instructions, m.cycles, dict(m.kernel_cycles))
+        except VMError as e:  # scheduler-level failures (deadlock)
+            return RunResult("", "trapped", str(e))
+
+    # -- reporting -----------------------------------------------------------
+    @property
+    def stats(self):
+        return self.ctx.stats
+
+    @property
+    def no_alias_count(self) -> int:
+        return self.ctx.aa.no_alias_count
+
+
+class Compiler:
+    """Deterministic compiler: same config + same sequence ⇒ same hash."""
+
+    def __init__(self, frontend_options: Optional[FrontendOptions] = None):
+        self.frontend_options = frontend_options or FrontendOptions()
+
+    def compile(self, config: BenchmarkConfig,
+                sequence: Optional[DecisionSequence] = None,
+                oraql_enabled: bool = False,
+                dump: Optional[DumpFlags] = None,
+                debug_pass_executions: bool = False,
+                suppress_chain: bool = False,
+                override=None) -> CompiledProgram:
+        # 1. frontend: one module per translation unit
+        modules: List[Module] = []
+        for src in config.sources:
+            modules.append(compile_source(src.text, src.name,
+                                          options=self.frontend_options))
+        # 2. (manual LTO) link into one module; non-LTO builds still link
+        #    for execution, but before optimization only under --lto
+        main = modules[0]
+        for other in modules[1:]:
+            main.link(other)
+        verify_module(main)
+
+        # 3. ORAQL pass appended to the chain when probing
+        oraql: Optional[OraqlAAPass] = None
+        if oraql_enabled:
+            oraql = OraqlAAPass(
+                sequence=sequence if sequence is not None
+                else DecisionSequence(),
+                target_filter=config.target_filter,
+                probe_functions=config.probe_function_set(),
+                probe_files=config.probe_file_set(),
+                dump=dump,
+            )
+        # override mode (paper §VIII): force chain answers pessimistic
+        if suppress_chain and override is None:
+            from .override import OraqlOverridePass
+            override = OraqlOverridePass(DecisionSequence())
+
+        chain = tuple(config.aa_chain) if config.aa_chain else DEFAULT_AA_CHAIN
+        ctx = CompilationContext(main, aa_chain=chain, oraql=oraql,
+                                 override=override,
+                                 debug_pass_executions=debug_pass_executions)
+
+        # 4. optimization pipeline
+        PassManager(ctx).run(build_pipeline(config.opt_level))
+        verify_module(main)
+
+        # 5. codegen: host statistics + device kernels (Fig. 6 / Fig. 7)
+        codegen = run_codegen(main, ctx.stats, target="host")
+        kernels = compile_device_kernels(main, target="nvptx")
+        for name, ki in kernels.items():
+            ctx.stats.add("asm printer", "# machine instructions generated",
+                          ki.machine_insts)
+
+        exe_hash = self._hash(main, kernels)
+        return CompiledProgram(config, main, ctx, oraql, kernels, codegen,
+                               exe_hash)
+
+    @staticmethod
+    def _hash(module: Module, kernels: Dict[str, KernelInfo]) -> str:
+        h = hashlib.sha256(module_hash(module).encode())
+        for name in sorted(kernels):
+            ki = kernels[name]
+            h.update(f"{name}:{ki.registers}:{ki.stack_bytes}".encode())
+        return h.hexdigest()

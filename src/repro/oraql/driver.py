@@ -1,0 +1,294 @@
+"""The ORAQL probing driver (paper §IV-B).
+
+Workflow (Fig. 1):
+
+1. compile + run with the ORAQL pass deactivated; the verification
+   script must accept this baseline (its output also serves as the
+   reference when the config does not ship one);
+2. attempt the *empty sequence* — every query answered no-alias; if the
+   tests still pass, report full optimism and stop;
+3. otherwise bisect to pin down the queries that must be answered
+   pessimistically, with either strategy:
+
+   * **chunked** — exploit that the query stream up to index k depends
+     only on the answers to queries < k: repeatedly re-try "prefix +
+     all-optimistic", and when it fails, binary-search the earliest
+     failing decision, fix it pessimistic, extend the prefix, repeat.
+     The binary-search sibling whose outcome is implied by its parent
+     and its tested sibling is *deduced*, not run (Fig. 2's dotted
+     arrow);
+   * **frequency** — split the index space by residue classes
+     (even/odd, then mod 4, ...), descriptors independent of the
+     sequence length; clustered dangerous queries force descent to
+     near-singleton classes, which is why chunked usually wins.
+
+4. every candidate executable is hashed; a sequence that produces a
+   bit-identical executable reuses the recorded test verdict instead of
+   re-running the tests.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from .compiler import CompiledProgram, Compiler
+from .config import BenchmarkConfig
+from .pass_ import DumpFlags, OraqlAAPass, QueryRecord
+from .sequence import DecisionSequence, sequence_from_pessimistic_set
+from .verify import RunResult, VerificationScript
+
+
+@dataclass
+class TestOutcome:
+    ok: bool
+    unique_queries: int
+    exe_hash: str
+    from_cache: bool = False
+
+
+@dataclass
+class ProbingReport:
+    """Everything the driver learned about one benchmark configuration."""
+
+    config_name: str
+    fully_optimistic: bool
+    final_sequence: DecisionSequence
+    pessimistic_indices: List[int]
+    # Fig. 4 columns
+    opt_unique: int = 0
+    opt_cached: int = 0
+    pess_unique: int = 0
+    pess_cached: int = 0
+    no_alias_original: int = 0
+    no_alias_oraql: int = 0
+    # probing effort
+    compiles: int = 0
+    tests_run: int = 0
+    tests_cached: int = 0
+    tests_deduced: int = 0
+    # provenance
+    unique_by_pass: Dict[str, int] = field(default_factory=dict)
+    pessimistic_records: List[QueryRecord] = field(default_factory=list)
+    final_program: Optional[CompiledProgram] = None
+    baseline_program: Optional[CompiledProgram] = None
+
+    @property
+    def no_alias_delta_percent(self) -> float:
+        if self.no_alias_original == 0:
+            return 0.0
+        return 100.0 * (self.no_alias_oraql - self.no_alias_original) \
+            / self.no_alias_original
+
+    def summary(self) -> str:
+        return (
+            f"{self.config_name}: opt {self.opt_unique}/{self.opt_cached} "
+            f"pess {self.pess_unique}/{self.pess_cached} "
+            f"no-alias {self.no_alias_original} -> {self.no_alias_oraql} "
+            f"({self.no_alias_delta_percent:+.1f}%) "
+            f"[{self.compiles} compiles, {self.tests_run} tests, "
+            f"{self.tests_cached} cached, {self.tests_deduced} deduced]")
+
+
+class ProbingDriver:
+    """Finds a locally-maximal set of optimistic answers for one config."""
+
+    #: sequence padding so "everything beyond the known range" stays
+    #: pessimistic while we probe (the pass answers past-the-end queries
+    #: optimistically, so explicit 0-padding expresses "pessimistic tail")
+    TAIL_PAD = 4
+
+    def __init__(self, config: BenchmarkConfig,
+                 compiler: Optional[Compiler] = None,
+                 strategy: str = "chunked",
+                 max_tests: int = 10_000):
+        if strategy not in ("chunked", "frequency"):
+            raise ValueError(f"unknown strategy {strategy!r}")
+        self.config = config
+        self.compiler = compiler or Compiler()
+        self.strategy = strategy
+        self.max_tests = max_tests
+        self.verifier: Optional[VerificationScript] = None
+        self._hash_cache: Dict[str, bool] = {}
+        self._report = ProbingReport(config.name, False, DecisionSequence(),
+                                     [])
+
+    # -- the test oracle -----------------------------------------------------
+    def _compile(self, sequence: Optional[DecisionSequence],
+                 oraql_enabled: bool = True) -> CompiledProgram:
+        self._report.compiles += 1
+        return self.compiler.compile(self.config, sequence=sequence,
+                                     oraql_enabled=oraql_enabled)
+
+    def _test(self, sequence: DecisionSequence) -> TestOutcome:
+        prog = self._compile(sequence)
+        n = prog.oraql.unique_queries
+        cached = self._hash_cache.get(prog.exe_hash)
+        if cached is not None:
+            self._report.tests_cached += 1
+            return TestOutcome(cached, n, prog.exe_hash, from_cache=True)
+        if self._report.tests_run >= self.max_tests:
+            raise RuntimeError("probing exceeded the test budget")
+        self._report.tests_run += 1
+        result = prog.run()
+        ok = self.verifier.check(result)
+        self._hash_cache[prog.exe_hash] = ok
+        return TestOutcome(ok, n, prog.exe_hash)
+
+    # -- main entry ----------------------------------------------------------
+    def run(self) -> ProbingReport:
+        report = self._report
+        cfg = self.config
+
+        # 1. baseline: ORAQL deactivated
+        baseline = self._compile(None, oraql_enabled=False)
+        report.baseline_program = baseline
+        report.no_alias_original = baseline.no_alias_count
+        base_run = baseline.run()
+        references = list(cfg.reference_outputs)
+        if not references:
+            if not base_run.ok:
+                raise RuntimeError(
+                    f"baseline run failed: {base_run.state} "
+                    f"({base_run.error})")
+            references = [base_run.stdout]
+        self.verifier = VerificationScript(references, cfg.output_filters)
+        if not self.verifier.check(base_run):
+            raise RuntimeError(
+                "baseline does not verify against the reference output")
+
+        # 2. the fully optimistic attempt (empty sequence)
+        first = self._test(DecisionSequence())
+        if first.ok:
+            report.fully_optimistic = True
+            pess: Set[int] = set()
+        else:
+            # 3. bisection
+            if self.strategy == "chunked":
+                pess = self._probe_chunked(first.unique_queries)
+            else:
+                pess = self._probe_frequency(first.unique_queries)
+
+        # 4. final compile with the discovered sequence, full bookkeeping
+        final_seq = sequence_from_pessimistic_set(pess)
+        final = self._compile(final_seq)
+        final_run = final.run()
+        if not self.verifier.check(final_run):
+            raise RuntimeError(
+                "final sequence does not verify — non-deterministic "
+                "compilation or verification")
+        report.final_sequence = final_seq
+        report.pessimistic_indices = sorted(pess)
+        report.final_program = final
+        oraql = final.oraql
+        report.opt_unique = oraql.opt_unique
+        report.opt_cached = oraql.opt_cached
+        report.pess_unique = oraql.pess_unique
+        report.pess_cached = oraql.pess_cached
+        report.no_alias_oraql = final.no_alias_count
+        report.unique_by_pass = dict(oraql.unique_by_pass)
+        report.pessimistic_records = oraql.pessimistic_records()
+        return report
+
+    # -- chunked strategy ------------------------------------------------
+    def _probe_chunked(self, first_n: int) -> Set[int]:
+        """Left-to-right prefix fixing with binary search per dangerous
+        query.  Exploits prefix stability: the k-th unique query depends
+        only on the answers to queries 0..k-1."""
+        decided: List[int] = []  # final bits for the prefix
+        while True:
+            # everything after the prefix optimistic
+            t = self._test(DecisionSequence(decided))
+            if t.ok:
+                return {i for i, b in enumerate(decided) if b == 0}
+            n = t.unique_queries
+            span = n - len(decided)
+            if span <= 0:
+                # the prefix itself fails: the most recent optimistic
+                # decision is the culprit of an interaction — flip the
+                # last optimistic bit (rare; keeps termination)
+                for i in range(len(decided) - 1, -1, -1):
+                    if decided[i] == 1:
+                        decided[i] = 0
+                        break
+                else:
+                    raise RuntimeError("all-pessimistic sequence fails tests")
+                continue
+
+            # g(k): prefix + k optimistic + pessimistic tail
+            def g(k: int) -> bool:
+                bits = decided + [1] * k + [0] * (span - k + self.TAIL_PAD)
+                return self._test(DecisionSequence(bits)).ok
+
+            if g(span):
+                # the failure needed the optimistic tail beyond n; fix
+                # this whole span optimistic and continue outward
+                decided.extend([1] * span)
+                continue
+            # binary search the smallest k with g(k) == False;
+            # g(0) == True because the all-pessimistic tail is the baseline
+            lo, hi = 0, span  # g(lo)=True (invariant), g(hi)=False
+            while hi - lo > 1:
+                mid = (lo + hi) // 2
+                if g(mid):
+                    lo = mid
+                else:
+                    hi = mid
+                    # the sibling [mid, old hi) need not be tested: the
+                    # parent fails and the left part alone already fails
+                    self._report.tests_deduced += 1
+            # the query at index len(decided)+hi-1 is dangerous in this
+            # context: fix prefix as lo optimistic + that one pessimistic
+            decided.extend([1] * lo)
+            decided.append(0)
+
+    # -- frequency-space strategy ----------------------------------------
+    def _probe_frequency(self, first_n: int) -> Set[int]:
+        """Residue-class bisection (paper's first strategy).
+
+        A class is (modulus, residue).  Greedily grow the accepted
+        optimistic set: test accepted ∪ candidate-class; on failure split
+        the class by doubling the modulus; a failing singleton is a
+        dangerous query, answered pessimistically."""
+        # length estimate grows as pessimistic answers change the stream
+        n_est = max(first_n, 1)
+
+        def indices_of(mod: int, res: int, n: int) -> List[int]:
+            return list(range(res, n, mod))
+
+        accepted: Set[int] = set()      # optimistic indices
+        dangerous: Set[int] = set()
+
+        def test_with(extra: Set[int]) -> TestOutcome:
+            opt = accepted | extra
+            length = max(n_est, max(opt) + 1 if opt else 0) + self.TAIL_PAD
+            bits = [1 if i in opt else 0 for i in range(length)]
+            return self._test(DecisionSequence(bits))
+
+        work: List[Tuple[int, int]] = [(1, 0)]
+        while work:
+            mod, res = work.pop(0)
+            idxs = [i for i in indices_of(mod, res, n_est)
+                    if i not in accepted and i not in dangerous]
+            if not idxs:
+                continue
+            t = test_with(set(idxs))
+            n_est = max(n_est, t.unique_queries)
+            if t.ok:
+                accepted |= set(idxs)
+                continue
+            if len(idxs) == 1:
+                dangerous.add(idxs[0])
+                continue
+            work.append((mod * 2, res))
+            work.append((mod * 2, res + mod))
+
+        # closing sweep: some indices past the original estimate may
+        # remain; try them optimistically as one block
+        t = self._test(sequence_from_pessimistic_set(
+            dangerous, max(n_est, max(dangerous) + 1 if dangerous else 0)))
+        if not t.ok:
+            # fall back to chunked refinement from what we learned
+            return self._probe_chunked(t.unique_queries) | dangerous
+        return dangerous

@@ -1,0 +1,58 @@
+"""Report generation (paper §II: "a report identifying the
+optimistically and forced pessimistically answered alias queries,
+associated with source lines, where possible, and with the passes that
+issued them").
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .driver import ProbingReport
+from .pass_ import QueryRecord
+
+
+def render_query(rec: QueryRecord) -> str:
+    return "\n".join(rec.render())
+
+
+def render_pessimistic_dump(report: ProbingReport) -> str:
+    """Fig. 3-style dump of every pessimistically answered unique query,
+    preceded by the pass that issued it."""
+    lines: List[str] = []
+    for rec in report.pessimistic_records:
+        lines.append(f"Executing Pass '{rec.issuing_pass}' on Function "
+                     f"'{rec.scope}'...")
+        lines.extend(rec.render())
+        lines.append("")
+    return "\n".join(lines)
+
+
+def render_report(report: ProbingReport) -> str:
+    """The full human-readable driver report."""
+    r = report
+    out: List[str] = []
+    out.append(f"== ORAQL report: {r.config_name} ==")
+    if r.fully_optimistic:
+        out.append("fully optimistic: all queries can be answered no-alias")
+    out.append(f"optimistic queries : {r.opt_unique} unique, "
+               f"{r.opt_cached} cached")
+    out.append(f"pessimistic queries: {r.pess_unique} unique, "
+               f"{r.pess_cached} cached")
+    out.append(f"no-alias responses : {r.no_alias_original} original -> "
+               f"{r.no_alias_oraql} ORAQL "
+               f"({r.no_alias_delta_percent:+.1f}%)")
+    out.append(f"probing effort     : {r.compiles} compiles, "
+               f"{r.tests_run} tests run, {r.tests_cached} served from the "
+               f"executable-hash cache, {r.tests_deduced} deduced")
+    if r.unique_by_pass:
+        out.append("unique queries by issuing pass:")
+        total = sum(r.unique_by_pass.values())
+        for name, n in sorted(r.unique_by_pass.items(),
+                              key=lambda kv: -kv[1]):
+            out.append(f"  {name:<28} {n:>6} ({100.0 * n / total:.1f}%)")
+    if r.pessimistic_records:
+        out.append("")
+        out.append("pessimistic queries (true aliases):")
+        out.append(render_pessimistic_dump(report))
+    return "\n".join(out)

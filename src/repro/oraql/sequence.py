@@ -1,0 +1,104 @@
+"""Decision sequences: the 0/1 response stream fed to the ORAQL pass.
+
+The driver communicates the probing sequence as space-separated ``1``
+(optimistic, no-alias) and ``0`` (not optimistic, may-alias) characters
+via ``-opt-aa-seq=<sequence>`` (paper §IV-A).  Sequences longer than the
+command-line length limit are passed through a response file using the
+LLVM ``@<filename>`` convention.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import Iterable, List, Optional, Sequence
+
+#: conservative command-line length limit that triggers @file transport
+ARG_MAX = 4096
+
+
+class DecisionSequence:
+    """A finite bit prefix; queries beyond the end are optimistic.
+
+    ``consumed`` tracks how many decisions have been handed out, which
+    the pass reports back to the driver as the unique-query count.
+    """
+
+    def __init__(self, bits: Sequence[int] = ()):
+        self.bits: List[int] = [1 if b else 0 for b in bits]
+        self.consumed = 0
+
+    # -- pass-side ----------------------------------------------------------
+    def next(self) -> bool:
+        """The decision for the next unique query (True = no-alias)."""
+        i = self.consumed
+        self.consumed += 1
+        if i < len(self.bits):
+            return bool(self.bits[i])
+        return True  # end of sequence: answer optimistically (§IV-A)
+
+    def reset(self) -> None:
+        self.consumed = 0
+
+    # -- driver-side --------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.bits)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, DecisionSequence) and other.bits == self.bits
+
+    def __hash__(self) -> int:
+        return hash(tuple(self.bits))
+
+    def to_text(self) -> str:
+        return " ".join(str(b) for b in self.bits)
+
+    @staticmethod
+    def from_text(text: str) -> "DecisionSequence":
+        bits = []
+        for tok in text.split():
+            if tok not in ("0", "1"):
+                raise ValueError(f"bad decision token {tok!r}")
+            bits.append(int(tok))
+        return DecisionSequence(bits)
+
+    # -- command-line transport -----------------------------------------------
+    def to_argument(self, workdir: Optional[str] = None,
+                    arg_max: int = ARG_MAX) -> str:
+        """Render as ``-opt-aa-seq=...``, spilling to ``@file`` when the
+        rendered argument would exceed the command-line limit."""
+        text = self.to_text()
+        arg = f"-opt-aa-seq={text}"
+        if len(arg) <= arg_max:
+            return arg
+        fd, path = tempfile.mkstemp(prefix="oraql-seq-", suffix=".rsp",
+                                    dir=workdir)
+        with os.fdopen(fd, "w") as f:
+            f.write(text)
+        return f"-opt-aa-seq=@{path}"
+
+    @staticmethod
+    def from_argument(arg: str) -> "DecisionSequence":
+        prefix = "-opt-aa-seq="
+        if not arg.startswith(prefix):
+            raise ValueError(f"not an ORAQL sequence argument: {arg!r}")
+        payload = arg[len(prefix):]
+        if payload.startswith("@"):
+            with open(payload[1:], "r") as f:
+                payload = f.read()
+        return DecisionSequence.from_text(payload)
+
+
+def all_optimistic() -> DecisionSequence:
+    """The empty sequence: every query answered no-alias (§IV-B)."""
+    return DecisionSequence()
+
+
+def sequence_from_pessimistic_set(pess: Iterable[int],
+                                  length: Optional[int] = None) -> DecisionSequence:
+    """Bits with the given indices pessimistic, everything else (up to
+    ``length``, default max index + 1) optimistic."""
+    pset = set(pess)
+    if length is None:
+        length = (max(pset) + 1) if pset else 0
+    return DecisionSequence([0 if i in pset else 1 for i in range(length)])

@@ -1,0 +1,70 @@
+"""The ORAQL verification script (paper §IV-C).
+
+Compares a run's stdout against one or more reference outputs after
+applying regex filters that mask legitimately-noisy parts (reported run
+times, trailing digits of checksums that vary across configurations).
+A trapped, deadlocked, or non-terminating run always fails.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+
+@dataclass
+class RunResult:
+    """Outcome of executing a compiled program."""
+
+    stdout: str
+    state: str                      # "done" | "trapped" | "blocked"
+    error: Optional[str] = None
+    instructions: int = 0
+    cycles: float = 0.0
+    kernel_cycles: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.state == "done"
+
+
+class VerificationScript:
+    """Multi-reference, regex-filtered output verification."""
+
+    def __init__(self, references: Sequence[str],
+                 filters: Sequence[Tuple[str, str]] = ()):
+        if not references:
+            raise ValueError("verification needs at least one reference")
+        self.filters = [(re.compile(p), r) for p, r in filters]
+        self.references = [self.normalize(r) for r in references]
+
+    def normalize(self, text: str) -> str:
+        for pattern, repl in self.filters:
+            text = pattern.sub(repl, text)
+        return text
+
+    def check_output(self, output: str) -> bool:
+        n = self.normalize(output)
+        return any(n == ref for ref in self.references)
+
+    def check(self, result: RunResult) -> bool:
+        """The full verdict: the run must complete and its (filtered)
+        output must match a reference."""
+        if not result.ok:
+            return False
+        return self.check_output(result.stdout)
+
+    def explain(self, result: RunResult) -> str:
+        if not result.ok:
+            return f"run failed: {result.state} ({result.error})"
+        n = self.normalize(result.stdout)
+        best = self.references[0]
+        for i, (x, y) in enumerate(zip(n, best)):
+            if x != y:
+                lo = max(0, i - 40)
+                return (f"output mismatch at byte {i}: "
+                        f"...{n[lo:i + 40]!r} != ...{best[lo:i + 40]!r}")
+        if len(n) != len(best):
+            return f"output length mismatch: {len(n)} vs {len(best)}"
+        return "ok"

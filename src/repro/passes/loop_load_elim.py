@@ -1,0 +1,54 @@
+"""Loop load elimination: store-to-load forwarding inside loop bodies.
+
+Forwards a value stored earlier in the same block to a later load of a
+must-aliasing address, provided no instruction in between may write the
+location (alias queries per intervening writer).  In the paper's
+Quicksilver breakdown this pass issues 6.7% of all optimistic queries.
+"""
+
+from __future__ import annotations
+
+from ..analysis.aliasing import AliasResult, ModRefInfo
+from ..analysis.memloc import MemoryLocation
+from ..ir.function import Function
+from ..ir.instructions import CallInst, LoadInst, StoreInst
+from .pass_manager import CompilationContext, Pass
+
+
+class LoopLoadElim(Pass):
+    name = "loop-load-elim"
+    display_name = "Loop Load Elimination"
+
+    def run_on_function(self, fn: Function, ctx: CompilationContext) -> bool:
+        li = ctx.analyses(fn).li
+        aa = ctx.aa
+        changed = False
+        loop_blocks = {bb for loop in li.loops for bb in loop.blocks}
+        for bb in fn.blocks:
+            if bb not in loop_blocks:
+                continue
+            insts = bb.instructions
+            for idx in range(len(insts) - 1, -1, -1):
+                inst = insts[idx]
+                if not isinstance(inst, LoadInst) or inst.is_volatile:
+                    continue
+                loc = MemoryLocation.get(inst)
+                # scan backwards for the forwarding store
+                for j in range(idx - 1, -1, -1):
+                    prev = insts[j]
+                    if isinstance(prev, StoreInst):
+                        if prev.value.type == inst.type and aa.alias(
+                                MemoryLocation.get(prev), loc
+                        ) is AliasResult.MUST:
+                            inst.replace_all_uses_with(prev.value)
+                            inst.erase_from_parent()
+                            ctx.stats.add(self.display_name,
+                                          "# loads forwarded")
+                            changed = True
+                            break
+                        if aa.get_mod_ref(prev, loc) & ModRefInfo.MOD:
+                            break
+                    elif prev.may_write_memory():
+                        if aa.get_mod_ref(prev, loc) & ModRefInfo.MOD:
+                            break
+        return changed

@@ -1,0 +1,178 @@
+"""Pass manager and compilation context.
+
+Mirrors the relevant behaviour of LLVM's pass manager (paper §III):
+passes run in a fixed sequence, may consume analyses (AA, dominators,
+loops, MemorySSA) computed lazily and invalidated by transformations,
+and the manager can announce executions (``-debug-pass=Executions``),
+which is how ORAQL's dumps attribute queries to the issuing pass
+(Fig. 3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis import (
+    AAResults,
+    ALL_AA_PASSES,
+    DEFAULT_AA_CHAIN,
+    DominatorTree,
+    LoopInfo,
+    MemorySSA,
+)
+from ..ir.function import Function
+from ..ir.module import Module
+from ..ir.verifier import verify_function
+from .statistics import Statistics
+
+
+class FunctionAnalyses:
+    """Lazily-built per-function analyses, rebuilt after invalidation."""
+
+    def __init__(self, ctx: "CompilationContext", fn: Function):
+        self.ctx = ctx
+        self.fn = fn
+        self._dt: Optional[DominatorTree] = None
+        self._li: Optional[LoopInfo] = None
+        self._mssa: Optional[MemorySSA] = None
+
+    @property
+    def dt(self) -> DominatorTree:
+        if self._dt is None:
+            self._dt = DominatorTree(self.fn)
+        return self._dt
+
+    @property
+    def li(self) -> LoopInfo:
+        if self._li is None:
+            self._li = LoopInfo(self.fn, self.dt)
+        return self._li
+
+    @property
+    def mssa(self) -> MemorySSA:
+        """MemorySSA with eager use optimization; queries issued during
+        construction are attributed to the 'Memory SSA' pass."""
+        if self._mssa is None:
+            ctx = self.ctx
+            saved = ctx.aa.current_pass
+            ctx.announce("Memory SSA", self.fn)
+            ctx.aa.current_pass = "Memory SSA"
+            try:
+                self._mssa = MemorySSA(self.fn, ctx.aa, optimize_uses=True)
+            finally:
+                ctx.aa.current_pass = saved
+        return self._mssa
+
+
+class CompilationContext:
+    """Everything shared across one compilation: the AA chain (with the
+    optional ORAQL pass appended), statistics, the debug log, and cached
+    per-function analyses."""
+
+    def __init__(self, module: Module,
+                 aa_chain: Sequence[str] = DEFAULT_AA_CHAIN,
+                 oraql=None, override=None,
+                 debug_pass_executions: bool = False,
+                 verify_each: bool = False):
+        self.module = module
+        self.oraql = oraql
+        self.override = override
+        analyses = []
+        for name in aa_chain:
+            cls = ALL_AA_PASSES[name]
+            try:
+                analyses.append(cls(module))  # GlobalsAA takes the module
+            except TypeError:
+                analyses.append(cls())
+        self.aa = AAResults(analyses, oraql=oraql, override=override)
+        if oraql is not None:
+            oraql.attach(self)
+        self.stats = Statistics()
+        self.debug_log: List[str] = []
+        self.debug_pass_executions = debug_pass_executions
+        self.verify_each = verify_each
+        self._fn_analyses: Dict[int, FunctionAnalyses] = {}
+
+    # -- analyses ----------------------------------------------------------
+    def analyses(self, fn: Function) -> FunctionAnalyses:
+        fa = self._fn_analyses.get(fn.id)
+        if fa is None:
+            fa = FunctionAnalyses(self, fn)
+            self._fn_analyses[fn.id] = fa
+        return fa
+
+    def invalidate(self, fn: Optional[Function] = None) -> None:
+        if fn is None:
+            self._fn_analyses.clear()
+        else:
+            self._fn_analyses.pop(fn.id, None)
+        for analysis in self.aa.analyses:
+            inv = getattr(analysis, "invalidate", None)
+            if inv is not None:
+                inv()
+
+    # -- logging --------------------------------------------------------------
+    def announce(self, pass_name: str, fn: Optional[Function] = None) -> None:
+        if self.debug_pass_executions or (
+                self.oraql is not None and self.oraql.wants_dump()):
+            where = f" on Function '{fn.name}'" if fn is not None else ""
+            self.debug_log.append(f"Executing Pass '{pass_name}'{where}...")
+
+    def log(self, text: str) -> None:
+        self.debug_log.append(text)
+
+
+class Pass:
+    """Base class: function-at-a-time transformation."""
+
+    name = "pass"
+    display_name = "Pass"
+
+    def run_on_function(self, fn: Function, ctx: CompilationContext) -> bool:
+        raise NotImplementedError
+
+    def should_run_on(self, fn: Function) -> bool:
+        return not fn.is_declaration and fn.blocks
+
+
+class ModulePass(Pass):
+    """Base class: whole-module transformation."""
+
+    def run_on_module(self, module: Module, ctx: CompilationContext) -> bool:
+        raise NotImplementedError
+
+
+class PassManager:
+    """Runs a pipeline, maintaining attribution and invalidation."""
+
+    def __init__(self, ctx: CompilationContext):
+        self.ctx = ctx
+
+    def run(self, pipeline: Sequence[Pass]) -> None:
+        ctx = self.ctx
+        module = ctx.module
+        for p in pipeline:
+            if isinstance(p, ModulePass):
+                ctx.announce(p.display_name)
+                ctx.aa.current_pass = p.display_name
+                ctx.aa.current_function = None
+                changed = p.run_on_module(module, ctx)
+                if changed:
+                    ctx.invalidate()
+                    if ctx.verify_each:
+                        for fn in module.defined_functions():
+                            verify_function(fn)
+                continue
+            for fn in list(module.defined_functions()):
+                if not p.should_run_on(fn):
+                    continue
+                ctx.announce(p.display_name, fn)
+                ctx.aa.current_pass = p.display_name
+                ctx.aa.current_function = fn
+                changed = p.run_on_function(fn, ctx)
+                if changed:
+                    ctx.invalidate(fn)
+                    if ctx.verify_each:
+                        verify_function(fn)
+        ctx.aa.current_pass = "<none>"
+        ctx.aa.current_function = None

@@ -1,0 +1,20 @@
+"""repro.vm — deterministic execution of (optimized) IR.
+
+Provides the byte-addressable memory model, the step-machine interpreter
+with instruction/cycle accounting, runtime shims for libc/OpenMP/CUDA,
+and the multi-rank MPI scheduler.
+"""
+
+from .cost_model import CostModel, DEFAULT_COSTS, occupancy_factor
+from .errors import (
+    DeadlockError,
+    MemoryTrap,
+    StepLimitExceeded,
+    UndefinedBehavior,
+    VMError,
+)
+from .interpreter import Blocked, Frame, Machine
+from .memory import Memory
+from .runtime import MPIWorld, Runtime
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,79 @@
+"""Cycle cost model for the interpreter.
+
+The evaluation reports two machine-facing metrics: executed instructions
+(``perf``-style, §V-A) and wall-clock/figure-of-merit times.  We model
+the latter with a static per-opcode cycle table plus a GPU occupancy
+penalty derived from per-kernel register pressure (the mechanism behind
+GridMini's optimistic *slowdown*, §V-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+#: cycles per executed IR instruction, by opcode/op
+DEFAULT_COSTS: Dict[str, float] = {
+    "load": 4.0,
+    "store": 4.0,
+    "getelementptr": 1.0,
+    "alloca": 1.0,
+    "phi": 0.0,
+    "br": 1.0,
+    "ret": 1.0,
+    "icmp": 1.0,
+    "fcmp": 2.0,
+    "select": 1.0,
+    "cast": 1.0,
+    "call": 5.0,
+    "memcpy": 8.0,
+    "memset": 8.0,
+    "splat": 1.0,
+    "extractelement": 1.0,
+    "insertelement": 1.0,
+    "unreachable": 0.0,
+    # binops by op name
+    "add": 1.0, "sub": 1.0, "mul": 3.0, "sdiv": 24.0, "udiv": 24.0,
+    "srem": 24.0, "urem": 24.0, "and": 1.0, "or": 1.0, "xor": 1.0,
+    "shl": 1.0, "ashr": 1.0, "lshr": 1.0,
+    "fadd": 4.0, "fsub": 4.0, "fmul": 5.0, "fdiv": 22.0, "frem": 30.0,
+}
+
+#: pure intrinsic costs
+INTRINSIC_COSTS: Dict[str, float] = {
+    "sqrt": 18.0, "exp": 40.0, "log": 40.0, "pow": 60.0, "sin": 40.0,
+    "cos": 40.0, "fabs": 2.0, "floor": 2.0, "ceil": 2.0, "fmin": 2.0,
+    "fmax": 2.0,
+}
+
+
+def occupancy_factor(registers: int) -> float:
+    """GPU cost multiplier as register pressure lowers occupancy.
+
+    Piecewise model of SM occupancy cliffs: each step past a register
+    budget drops concurrent warps and inflates effective kernel time.
+    """
+    if registers <= 32:
+        return 1.0
+    if registers <= 64:
+        return 1.08
+    if registers <= 96:
+        return 1.38
+    if registers <= 128:
+        return 1.48
+    if registers <= 168:
+        return 1.58
+    return 1.75
+
+
+@dataclass
+class CostModel:
+    costs: Dict[str, float] = field(default_factory=lambda: dict(DEFAULT_COSTS))
+    intrinsic_costs: Dict[str, float] = field(
+        default_factory=lambda: dict(INTRINSIC_COSTS))
+
+    def of(self, opcode: str) -> float:
+        return self.costs.get(opcode, 1.0)
+
+    def of_intrinsic(self, name: str) -> float:
+        return self.intrinsic_costs.get(name, 10.0)

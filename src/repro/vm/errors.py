@@ -1,0 +1,29 @@
+"""Runtime errors raised by the VM.
+
+A miscompiled program (e.g. one built with a wrong optimistic no-alias
+answer) may trap, loop forever, or print garbage; the first two surface
+as these exceptions and are treated as *test failures* by the
+verification script, never as tool crashes.
+"""
+
+from __future__ import annotations
+
+
+class VMError(Exception):
+    """Base class for all interpreter failures."""
+
+
+class MemoryTrap(VMError):
+    """Out-of-bounds or unmapped memory access."""
+
+
+class StepLimitExceeded(VMError):
+    """The configured instruction budget ran out (likely an infinite loop)."""
+
+
+class DeadlockError(VMError):
+    """All ranks blocked on incompatible communication."""
+
+
+class UndefinedBehavior(VMError):
+    """Division by zero, bad intrinsic arguments, etc."""

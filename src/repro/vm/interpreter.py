@@ -1,0 +1,566 @@
+"""The IR interpreter: an explicit-stack step machine.
+
+Running the *optimized* IR is what makes ORAQL's verification real in
+this reproduction: a wrong optimistic no-alias answer lets a pass forward
+a stale value or delete a live store, and the executed program then
+prints a different checksum (or traps / loops), failing verification.
+
+The machine is a step machine (no host recursion for calls) so that:
+* instruction counts and cycle costs are exact,
+* multiple ranks can be interleaved by the MPI scheduler,
+* runaway miscompiles hit a step budget instead of hanging the driver.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import (
+    AllocaInst,
+    BinaryInst,
+    BranchInst,
+    CallInst,
+    CastInst,
+    ExtractElementInst,
+    FCmpInst,
+    GEPInst,
+    ICmpInst,
+    InsertElementInst,
+    Instruction,
+    LoadInst,
+    MemCpyInst,
+    MemSetInst,
+    PhiInst,
+    ReturnInst,
+    SelectInst,
+    ShuffleSplatInst,
+    StoreInst,
+    UnreachableInst,
+)
+from ..ir.module import Module
+from ..ir.types import (
+    ArrayType,
+    FloatType,
+    IntType,
+    PointerType,
+    StructType,
+    Type,
+    VectorType,
+)
+from ..ir.values import (
+    Argument,
+    Constant,
+    ConstantData,
+    ConstantFloat,
+    ConstantInt,
+    ConstantNull,
+    GlobalVariable,
+    UndefValue,
+    Value,
+)
+from .cost_model import CostModel, occupancy_factor
+from .errors import DeadlockError, MemoryTrap, StepLimitExceeded, UndefinedBehavior, VMError
+from .memory import Memory
+
+
+class Blocked:
+    """Sentinel returned by blocking runtime calls (MPI collectives)."""
+
+    __slots__ = ("tag", "payload")
+
+    def __init__(self, tag: str, payload):
+        self.tag = tag
+        self.payload = payload
+
+
+class Frame:
+    __slots__ = ("fn", "block", "index", "env", "allocas", "call_inst")
+
+    def __init__(self, fn: Function, call_inst: Optional[CallInst]):
+        self.fn = fn
+        self.block = fn.entry
+        self.index = 0
+        self.env: Dict[Value, object] = {}
+        self.allocas: List[int] = []
+        self.call_inst = call_inst
+
+
+def _wrap_int(v: int, bits: int) -> int:
+    mask = (1 << bits) - 1
+    v &= mask
+    if bits > 1 and v >= (1 << (bits - 1)):
+        v -= 1 << bits
+    return v
+
+
+def _unsigned(v: int, bits: int) -> int:
+    return v & ((1 << bits) - 1)
+
+
+class Machine:
+    """One executing process image (one MPI rank, or the whole program)."""
+
+    def __init__(self, module: Module, runtime=None,
+                 max_steps: int = 80_000_000,
+                 cost_model: Optional[CostModel] = None,
+                 kernel_info: Optional[Dict[str, object]] = None,
+                 rank: int = 0, nranks: int = 1, num_threads: int = 4,
+                 argv: Optional[List[str]] = None):
+        from .runtime import Runtime  # local import to avoid cycle
+
+        self.module = module
+        self.memory = Memory()
+        self.runtime = runtime or Runtime()
+        self.cost = cost_model or CostModel()
+        self.kernel_info = kernel_info or {}
+        self.max_steps = max_steps
+        self.rank = rank
+        self.nranks = nranks
+        self.num_threads = num_threads
+        self.argv = argv or []
+
+        self.frames: List[Frame] = []
+        self.stdout: List[str] = []
+        self.state = "ready"  # ready | blocked | done | trapped
+        self.retval = None
+        self.error: Optional[BaseException] = None
+        self.blocked: Optional[Blocked] = None
+        self.instructions = 0
+        self.cycles = 0.0
+        self.kernel_cycles: Dict[str, float] = {}
+        self.kernel_launches: Dict[str, int] = {}
+        self._gpu_factor = 1.0  # >1 while executing inside a GPU kernel
+
+        self.globals: Dict[GlobalVariable, int] = {}
+        self._init_globals()
+
+    # -- images ------------------------------------------------------------
+    def _init_globals(self) -> None:
+        for gv in self.module.globals.values():
+            size = gv.value_type.size()
+            addr = self.memory.allocate(size, gv.value_type.align())
+            self.globals[gv] = addr
+            init = gv.initializer
+            if init is None:
+                continue
+            self._write_initializer(addr, gv.value_type, init)
+
+    def _write_initializer(self, addr: int, ty: Type, init: Constant) -> None:
+        if isinstance(init, ConstantInt):
+            self.memory.store(addr, ty, init.value)
+        elif isinstance(init, ConstantFloat):
+            self.memory.store(addr, ty, init.value)
+        elif isinstance(init, ConstantData):
+            if isinstance(ty, ArrayType):
+                step = ty.element.size()
+                for i, v in enumerate(init.values):
+                    self.memory.store(addr + i * step, ty.element, v)
+            elif isinstance(ty, StructType):
+                for i, v in enumerate(init.values):
+                    self.memory.store(addr + ty.field_offset(i), ty.fields[i], v)
+            else:
+                raise VMError(f"bad ConstantData target {ty}")
+        elif isinstance(init, ConstantNull):
+            self.memory.store(addr, ty, 0)
+
+    # -- operand evaluation ---------------------------------------------------
+    def value_of(self, frame: Frame, v: Value):
+        if isinstance(v, Constant):
+            if isinstance(v, ConstantInt):
+                return v.value
+            if isinstance(v, ConstantFloat):
+                return v.value
+            if isinstance(v, (ConstantNull, UndefValue)):
+                return 0
+            raise VMError(f"cannot evaluate constant {v!r}")
+        if isinstance(v, GlobalVariable):
+            return self.globals[v]
+        if isinstance(v, Function):
+            return v
+        try:
+            return frame.env[v]
+        except KeyError:
+            raise VMError(
+                f"use of unevaluated value {v.short()} in @{frame.fn.name}"
+            ) from None
+
+    # -- control ------------------------------------------------------------
+    def start(self, fn_name: str = "main", args: Tuple = ()) -> None:
+        fn = self.module.get_function(fn_name)
+        frame = Frame(fn, None)
+        for a, val in zip(fn.args, args):
+            frame.env[a] = val
+        self.frames.append(frame)
+        self.state = "ready"
+
+    def run(self) -> "Machine":
+        """Run until done, blocked, or trapped."""
+        try:
+            while self.state == "ready":
+                self.step()
+                if self.instructions > self.max_steps:
+                    raise StepLimitExceeded(
+                        f"exceeded {self.max_steps} instructions")
+        except VMError as e:
+            self.state = "trapped"
+            self.error = e
+        return self
+
+    def run_to_completion(self) -> "Machine":
+        self.run()
+        if self.state == "blocked":
+            self.state = "trapped"
+            self.error = DeadlockError(
+                f"rank {self.rank} blocked on {self.blocked.tag} with no peers")
+        return self
+
+    def deliver(self, result) -> None:
+        """Resolve a blocking call with ``result`` and resume."""
+        assert self.state == "blocked"
+        frame = self.frames[-1]
+        inst = frame.block.instructions[frame.index]
+        if not inst.type.is_void:
+            frame.env[inst] = result
+        frame.index += 1
+        self.blocked = None
+        self.state = "ready"
+
+    # -- nested synchronous execution (omp chunks, cuda threads) ----------
+    def call_synchronously(self, fn: Function, args: Tuple):
+        """Run ``fn`` to completion inside a runtime handler.
+
+        Blocking calls are not allowed inside such nested regions (our
+        workloads never block inside parallel regions).
+        """
+        depth = len(self.frames)
+        frame = Frame(fn, None)
+        for a, val in zip(fn.args, args):
+            frame.env[a] = val
+        self.frames.append(frame)
+        while len(self.frames) > depth:
+            if self.state != "ready":
+                raise DeadlockError("blocking call inside a parallel region")
+            self.step()
+            if self.instructions > self.max_steps:
+                raise StepLimitExceeded(
+                    f"exceeded {self.max_steps} instructions")
+        return self.retval
+
+    # -- the step function ----------------------------------------------------
+    def step(self) -> None:
+        frame = self.frames[-1]
+        inst = frame.block.instructions[frame.index]
+        self.instructions += 1
+        cls = inst.__class__
+
+        if cls is BinaryInst:
+            self.cycles += self._gpu_factor * self.cost.of(inst.op)
+            a = self.value_of(frame, inst.operands[0])
+            b = self.value_of(frame, inst.operands[1])
+            frame.env[inst] = self._binop(inst, a, b)
+            frame.index += 1
+            return
+        self.cycles += self._gpu_factor * self.cost.of(inst.opcode)
+
+        if cls is LoadInst:
+            addr = self.value_of(frame, inst.pointer)
+            frame.env[inst] = self.memory.load(addr, inst.type)
+            frame.index += 1
+        elif cls is StoreInst:
+            addr = self.value_of(frame, inst.pointer)
+            val = self.value_of(frame, inst.value)
+            self.memory.store(addr, inst.value.type, val)
+            frame.index += 1
+        elif cls is GEPInst:
+            frame.env[inst] = self._gep(frame, inst)
+            frame.index += 1
+        elif cls is ICmpInst:
+            a = self.value_of(frame, inst.operands[0])
+            b = self.value_of(frame, inst.operands[1])
+            if isinstance(inst.operands[0].type, VectorType):
+                bits = inst.operands[0].type.element.bits
+                frame.env[inst] = tuple(
+                    self._icmp(inst.pred, x, y, bits) for x, y in zip(a, b))
+            else:
+                bits = getattr(inst.operands[0].type, "bits", 64)
+                frame.env[inst] = self._icmp(inst.pred, a, b, bits)
+            frame.index += 1
+        elif cls is FCmpInst:
+            a = self.value_of(frame, inst.operands[0])
+            b = self.value_of(frame, inst.operands[1])
+            if isinstance(inst.operands[0].type, VectorType):
+                frame.env[inst] = tuple(
+                    self._fcmp(inst.pred, x, y) for x, y in zip(a, b))
+            else:
+                frame.env[inst] = self._fcmp(inst.pred, a, b)
+            frame.index += 1
+        elif cls is BranchInst:
+            if inst.is_conditional:
+                cond = self.value_of(frame, inst.condition)
+                target = inst.targets[0] if cond else inst.targets[1]
+            else:
+                target = inst.targets[0]
+            self._jump(frame, target)
+        elif cls is PhiInst:  # handled by _jump; stray phi = already valued
+            frame.index += 1
+        elif cls is ReturnInst:
+            val = (self.value_of(frame, inst.value)
+                   if inst.value is not None else None)
+            self._pop_frame(val)
+        elif cls is CallInst:
+            self._call(frame, inst)
+        elif cls is AllocaInst:
+            addr = self.memory.allocate(inst.size_bytes(),
+                                        inst.allocated_type.align())
+            frame.allocas.append(addr)
+            frame.env[inst] = addr
+            frame.index += 1
+        elif cls is CastInst:
+            frame.env[inst] = self._cast(frame, inst)
+            frame.index += 1
+        elif cls is SelectInst:
+            c = self.value_of(frame, inst.operands[0])
+            frame.env[inst] = self.value_of(
+                frame, inst.operands[1] if c else inst.operands[2])
+            frame.index += 1
+        elif cls is MemCpyInst:
+            dst = self.value_of(frame, inst.dst)
+            src = self.value_of(frame, inst.src)
+            size = self.value_of(frame, inst.size)
+            self.cycles += self._gpu_factor * size / 8.0
+            self.memory.copy(dst, src, size)
+            frame.index += 1
+        elif cls is MemSetInst:
+            dst = self.value_of(frame, inst.dst)
+            byte = self.value_of(frame, inst.byte)
+            size = self.value_of(frame, inst.size)
+            self.cycles += self._gpu_factor * size / 8.0
+            self.memory.fill(dst, byte, size)
+            frame.index += 1
+        elif cls is ShuffleSplatInst:
+            s = self.value_of(frame, inst.operands[0])
+            frame.env[inst] = (s,) * inst.lanes
+            frame.index += 1
+        elif cls is ExtractElementInst:
+            v = self.value_of(frame, inst.operands[0])
+            i = self.value_of(frame, inst.operands[1])
+            frame.env[inst] = v[i]
+            frame.index += 1
+        elif cls is InsertElementInst:
+            v = list(self.value_of(frame, inst.operands[0]))
+            e = self.value_of(frame, inst.operands[1])
+            i = self.value_of(frame, inst.operands[2])
+            v[i] = e
+            frame.env[inst] = tuple(v)
+            frame.index += 1
+        elif cls is UnreachableInst:
+            raise UndefinedBehavior("executed unreachable")
+        else:
+            raise VMError(f"cannot interpret {inst.opcode}")
+
+    # -- helpers ---------------------------------------------------------
+    def _jump(self, frame: Frame, target: BasicBlock) -> None:
+        source = frame.block
+        # evaluate phis in parallel against the pre-jump environment
+        phis = target.phis()
+        if phis:
+            values = []
+            for phi in phis:
+                v = phi.incoming_for_block(source)
+                if v is None:
+                    raise VMError(
+                        f"phi {phi.short()} has no incoming for {source.name}")
+                values.append(self.value_of(frame, v))
+            for phi, val in zip(phis, values):
+                frame.env[phi] = val
+        frame.block = target
+        frame.index = len(phis)
+
+    def _pop_frame(self, val) -> None:
+        frame = self.frames.pop()
+        for addr in frame.allocas:
+            self.memory.release(addr)
+        if not self.frames:
+            self.state = "done"
+            self.retval = val
+            return
+        caller = self.frames[-1]
+        call_inst = frame.call_inst
+        if call_inst is not None:
+            if not call_inst.type.is_void:
+                caller.env[call_inst] = val
+            caller.index += 1
+        else:
+            # nested synchronous call: record return for call_synchronously
+            self.retval = val
+
+    def _call(self, frame: Frame, inst: CallInst) -> None:
+        callee = inst.callee
+        args = tuple(self.value_of(frame, a) for a in inst.operands)
+        if isinstance(callee, Function) and not callee.is_declaration:
+            new = Frame(callee, inst)
+            for a, val in zip(callee.args, args):
+                new.env[a] = val
+            self.frames.append(new)
+            return
+        name = callee if isinstance(callee, str) else callee.name
+        result = self.runtime.call(self, name, args, inst)
+        if isinstance(result, Blocked):
+            self.state = "blocked"
+            self.blocked = result
+            return
+        if not inst.type.is_void:
+            frame.env[inst] = result
+        frame.index += 1
+
+    def _binop(self, inst: BinaryInst, a, b):
+        op = inst.op
+        ty = inst.type
+        if isinstance(ty, VectorType):
+            ety = ty.element
+            return tuple(self._scalar_binop(op, x, y, ety)
+                         for x, y in zip(a, b))
+        return self._scalar_binop(op, a, b, ty)
+
+    @staticmethod
+    def _scalar_binop(op: str, a, b, ty: Type):
+        if op == "fadd":
+            return a + b
+        if op == "fsub":
+            return a - b
+        if op == "fmul":
+            return a * b
+        if op == "fdiv":
+            if b == 0.0:
+                return math.inf if a > 0 else (-math.inf if a < 0 else math.nan)
+            return a / b
+        if op == "frem":
+            return math.fmod(a, b) if b != 0.0 else math.nan
+        bits = ty.bits if isinstance(ty, IntType) else 64
+        if op == "add":
+            return _wrap_int(a + b, bits)
+        if op == "sub":
+            return _wrap_int(a - b, bits)
+        if op == "mul":
+            return _wrap_int(a * b, bits)
+        if op == "sdiv":
+            if b == 0:
+                raise UndefinedBehavior("sdiv by zero")
+            q = abs(a) // abs(b)
+            return _wrap_int(-q if (a < 0) != (b < 0) else q, bits)
+        if op == "srem":
+            if b == 0:
+                raise UndefinedBehavior("srem by zero")
+            q = abs(a) // abs(b)
+            q = -q if (a < 0) != (b < 0) else q
+            return _wrap_int(a - q * b, bits)
+        if op == "udiv":
+            if b == 0:
+                raise UndefinedBehavior("udiv by zero")
+            return _wrap_int(_unsigned(a, bits) // _unsigned(b, bits), bits)
+        if op == "urem":
+            if b == 0:
+                raise UndefinedBehavior("urem by zero")
+            return _wrap_int(_unsigned(a, bits) % _unsigned(b, bits), bits)
+        if op == "and":
+            return _wrap_int(a & b, bits)
+        if op == "or":
+            return _wrap_int(a | b, bits)
+        if op == "xor":
+            return _wrap_int(a ^ b, bits)
+        if op == "shl":
+            return _wrap_int(a << (b % bits), bits)
+        if op == "ashr":
+            return _wrap_int(a >> (b % bits), bits)
+        if op == "lshr":
+            return _wrap_int(_unsigned(a, bits) >> (b % bits), bits)
+        raise VMError(f"bad binop {op}")
+
+    @staticmethod
+    def _icmp(pred: str, a: int, b: int, bits: int) -> int:
+        if pred in ("ult", "ule", "ugt", "uge"):
+            a, b = _unsigned(a, bits), _unsigned(b, bits)
+        if pred == "eq":
+            return int(a == b)
+        if pred == "ne":
+            return int(a != b)
+        if pred in ("slt", "ult"):
+            return int(a < b)
+        if pred in ("sle", "ule"):
+            return int(a <= b)
+        if pred in ("sgt", "ugt"):
+            return int(a > b)
+        if pred in ("sge", "uge"):
+            return int(a >= b)
+        raise VMError(f"bad icmp pred {pred}")
+
+    @staticmethod
+    def _fcmp(pred: str, a: float, b: float) -> int:
+        if math.isnan(a) or math.isnan(b):
+            return 0  # ordered comparisons are false on NaN
+        return {
+            "oeq": a == b, "one": a != b, "olt": a < b,
+            "ole": a <= b, "ogt": a > b, "oge": a >= b,
+        }[pred] and 1 or 0
+
+    def _gep(self, frame: Frame, inst: GEPInst) -> int:
+        addr = self.value_of(frame, inst.pointer)
+        ty: Type = inst.pointer.type.pointee
+        for i, idx in enumerate(inst.indices):
+            iv = self.value_of(frame, idx)
+            if i == 0:
+                addr += iv * ty.size()
+            elif isinstance(ty, (ArrayType, VectorType)):
+                ty = ty.element
+                addr += iv * ty.size()
+            elif isinstance(ty, StructType):
+                addr += ty.field_offset(iv)
+                ty = ty.fields[iv]
+            else:
+                raise VMError(f"gep into {ty}")
+        return addr
+
+    def _cast(self, frame: Frame, inst: CastInst):
+        import struct as _struct
+
+        v = self.value_of(frame, inst.value)
+        op = inst.op
+        to = inst.type
+        if isinstance(to, VectorType) and isinstance(v, tuple):
+            ety = to.element
+            return tuple(self._cast_scalar(op, lane, ety,
+                                           inst.value.type.element)
+                         for lane in v)
+        return self._cast_scalar(op, v, to, inst.value.type)
+
+    def _cast_scalar(self, op: str, v, to: Type, from_ty: Type):
+        import struct as _struct
+        if op in ("bitcast", "inttoptr", "ptrtoint"):
+            return v
+        if op == "trunc":
+            return _wrap_int(v, to.bits)
+        if op == "zext":
+            return _unsigned(v, from_ty.bits)
+        if op == "sext":
+            return v  # already sign-canonical
+        if op == "fptosi":
+            if math.isnan(v) or math.isinf(v):
+                raise UndefinedBehavior("fptosi of NaN/Inf")
+            return _wrap_int(int(v), to.bits)
+        if op == "sitofp":
+            return float(v)
+        if op == "fpext":
+            return float(v)
+        if op == "fptrunc":
+            return _struct.unpack("<f", _struct.pack("<f", v))[0]
+        raise VMError(f"bad cast {op}")
+
+    # -- output ------------------------------------------------------------
+    def write_stdout(self, text: str) -> None:
+        self.stdout.append(text)
+
+    def output(self) -> str:
+        return "".join(self.stdout)

@@ -1,0 +1,14 @@
+"""repro.workloads — MiniC re-implementations of the paper's seven HPC
+proxy applications, in all sixteen configurations of Fig. 4."""
+
+from . import gridmini, lulesh, minife, minigmg, quicksilver, testsnap, xsbench
+from .base import (
+    VariantInfo,
+    all_variants,
+    get_config,
+    get_info,
+    register,
+    row_names,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

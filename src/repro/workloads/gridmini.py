@@ -1,0 +1,136 @@
+"""GridMini: reduced Grid lattice-QCD library, SU(3) benchmark
+(paper §V-C).
+
+One configuration: OpenMP *offload* — the SU3 streaming kernel runs on
+the device, and ORAQL is restricted to the device compilation via
+``-opt-aa-target`` (§IV-E).  The kernel multiplies 3×3 complex (SU(3))
+matrices site-by-site.
+
+Expected behaviour, as in the paper: every device query can be answered
+optimistically, *and the kernel gets slower* — the fully-unrolled
+complex multiply holds many more values live once optimistic AA lets
+GVN/LICM keep loaded matrix elements in registers, which pushes the
+kernel over an occupancy cliff (the paper's 7% regression; "heuristics
+employed in LLVM are less mature for GPUs").
+"""
+
+from __future__ import annotations
+
+from ..oraql.config import BenchmarkConfig, SourceFile
+from .base import VariantInfo, register
+
+_FILTERS = [(r"kernel time .*", "kernel time <T>")]
+
+_SOURCE = r'''
+// SU(3) matrices stored as 18 doubles (row-major, re/im interleaved)
+
+__global__ void su3_mult_kernel(double* out, double* a, double* b,
+                                int nsites) {
+  // Grid's expression templates fully unroll the SU(3) row/column
+  // structure; only the column loop (j) remains.  The A-matrix rows
+  // are loaded right before each output row (short live ranges), and
+  // all 18 loads are j-invariant: conservative aliasing reloads them
+  // every column (the out[] stores may clobber them), while optimistic
+  // aliasing hoists all 18 out of the column loop — fewer instructions,
+  // but 18 doubles held live across the loop, past an occupancy cliff
+  // (the paper's ~7% kernel slowdown, §V-C).
+  int t = cuda_thread_id();
+  int total = cuda_num_threads();
+  for (int s = t; s < nsites; s += total) {
+    int base = s * 18;
+    for (int j = 0; j < 3; j++) {
+      double b0r = b[base + (0 * 3 + j) * 2];
+      double b0i = b[base + (0 * 3 + j) * 2 + 1];
+      double b1r = b[base + (1 * 3 + j) * 2];
+      double b1i = b[base + (1 * 3 + j) * 2 + 1];
+      double b2r = b[base + (2 * 3 + j) * 2];
+      double b2i = b[base + (2 * 3 + j) * 2 + 1];
+      double a00r = a[base + 0];  double a00i = a[base + 1];
+      double a01r = a[base + 2];  double a01i = a[base + 3];
+      double a02r = a[base + 4];  double a02i = a[base + 5];
+      out[base + (0 * 3 + j) * 2] =
+          a00r * b0r - a00i * b0i + a01r * b1r - a01i * b1i
+        + a02r * b2r - a02i * b2i;
+      out[base + (0 * 3 + j) * 2 + 1] =
+          a00r * b0i + a00i * b0r + a01r * b1i + a01i * b1r
+        + a02r * b2i + a02i * b2r;
+      double a10r = a[base + 6];  double a10i = a[base + 7];
+      double a11r = a[base + 8];  double a11i = a[base + 9];
+      double a12r = a[base + 10]; double a12i = a[base + 11];
+      out[base + (1 * 3 + j) * 2] =
+          a10r * b0r - a10i * b0i + a11r * b1r - a11i * b1i
+        + a12r * b2r - a12i * b2i;
+      out[base + (1 * 3 + j) * 2 + 1] =
+          a10r * b0i + a10i * b0r + a11r * b1i + a11i * b1r
+        + a12r * b2i + a12i * b2r;
+      double a20r = a[base + 12]; double a20i = a[base + 13];
+      double a21r = a[base + 14]; double a21i = a[base + 15];
+      double a22r = a[base + 16]; double a22i = a[base + 17];
+      out[base + (2 * 3 + j) * 2] =
+          a20r * b0r - a20i * b0i + a21r * b1r - a21i * b1i
+        + a22r * b2r - a22i * b2i;
+      out[base + (2 * 3 + j) * 2 + 1] =
+          a20r * b0i + a20i * b0r + a21r * b1i + a21i * b1r
+        + a22r * b2i + a22i * b2r;
+    }
+  }
+}
+
+__global__ void site_norm_kernel(double* out, double* norms, int nsites) {
+  int t = cuda_thread_id();
+  int total = cuda_num_threads();
+  for (int s = t; s < nsites; s += total) {
+    int base = s * 18;
+    double n = 0.0;
+    for (int e = 0; e < 18; e++) {
+      n = n + out[base + e] * out[base + e];
+    }
+    norms[s] = n;
+  }
+}
+
+int main() {
+  int nsites = 48;   // scaled stand-in for the paper's L = 60 lattice
+  double* a = (double*)malloc(nsites * 18 * sizeof(double));
+  double* b = (double*)malloc(nsites * 18 * sizeof(double));
+  double* out = (double*)malloc(nsites * 18 * sizeof(double));
+  double* norms = (double*)malloc(nsites * sizeof(double));
+  for (int s = 0; s < nsites; s++) {
+    for (int e = 0; e < 18; e++) {
+      a[s * 18 + e] = 0.1 + 0.001 * e + 0.0001 * s;
+      b[s * 18 + e] = 0.2 - 0.0005 * e + 0.0002 * s;
+    }
+  }
+  double t0 = wtime();
+  for (int it = 0; it < 3; it++) {
+    launch(su3_mult_kernel, 1, 16, out, a, b, nsites);
+    launch(site_norm_kernel, 1, 16, out, norms, nsites);
+  }
+  cuda_device_synchronize();
+  double t1 = wtime();
+  double total = 0.0;
+  for (int s = 0; s < nsites; s++) { total = total + norms[s]; }
+  printf("GridMini SU3 benchmark (OpenMP offload)\n");
+  printf("sites = %d\n", nsites);
+  printf("norm checksum = %.9f\n", total);
+  printf("kernel time %.6f s\n", t1 - t0);
+  return 0;
+}
+'''
+
+
+def config_offload() -> BenchmarkConfig:
+    return BenchmarkConfig(
+        name="gridmini-offload",
+        sources=[SourceFile("Benchmark_su3.cc", _SOURCE)],
+        frontend="clang++",
+        probe_files=["Benchmark_su3.cc"],
+        target_filter="nvptx",
+        output_filters=list(_FILTERS),
+    )
+
+
+register(
+    VariantInfo("GridMini", "offload", "C++, OpenMP Offload",
+                "Benchmark_su3", 86, 6809, 0, 0, 8969, 14435, "+60.9%"),
+    config_offload)

@@ -1,0 +1,323 @@
+"""LULESH: Livermore Unstructured Lagrange Explicit Shock Hydro
+(paper §V-E).
+
+Three C++ configurations — sequential, OpenMP, MPI — probing only the
+functions inside the timed region (the paper excludes setup/cleanup).
+
+LULESH is the paper's "cannot be compiled fully optimistically" case:
+the domain uses a memory *pool*, and two logical arrays (the force
+scratch ``dvdx`` and the element work array ``delv``) are deliberately
+carved out of the same slab region — pool reuse, a textbook source of
+true aliasing.  Optimistic answers across those arrays change the
+energy checksum; ORAQL has to answer those queries pessimistically,
+while everything else in the timed kernels is optimistic (the paper's
+≥55% extra no-alias responses with barely-changed run time).
+"""
+
+from __future__ import annotations
+
+from ..oraql.config import BenchmarkConfig, SourceFile
+from .base import VariantInfo, register
+
+_FILTERS = [(r"Elapsed time .*", "Elapsed time <T>")]
+
+_DOMAIN = r'''
+struct Domain {
+  double* x; double* y; double* z;       // node coordinates
+  double* xd; double* yd; double* zd;    // node velocities
+  double* fx; double* fy; double* fz;    // node forces
+  double* e; double* p; double* q;       // element energy/pressure/q
+  double* v; double* delv;               // element volumes
+  double* dvdx;                          // force scratch (pool-shared!)
+  int nnode;
+  int nelem;
+};
+
+void domain_init(struct Domain* dom, int edge) {
+  int nelem = edge * edge;
+  int nnode = (edge + 1) * (edge + 1);
+  dom->nnode = nnode;
+  dom->nelem = nelem;
+  dom->x = (double*)malloc(nnode * sizeof(double));
+  dom->y = (double*)malloc(nnode * sizeof(double));
+  dom->z = (double*)malloc(nnode * sizeof(double));
+  dom->xd = (double*)malloc(nnode * sizeof(double));
+  dom->yd = (double*)malloc(nnode * sizeof(double));
+  dom->zd = (double*)malloc(nnode * sizeof(double));
+  dom->fx = (double*)malloc(nnode * sizeof(double));
+  dom->fy = (double*)malloc(nnode * sizeof(double));
+  dom->fz = (double*)malloc(nnode * sizeof(double));
+  dom->e = (double*)malloc(nelem * sizeof(double));
+  dom->p = (double*)malloc(nelem * sizeof(double));
+  dom->q = (double*)malloc(nelem * sizeof(double));
+  dom->v = (double*)malloc(nelem * sizeof(double));
+  // pool reuse: delv and dvdx share one slab (delv = first half)
+  double* pool = (double*)malloc(2 * nelem * sizeof(double));
+  dom->delv = pool;
+  dom->dvdx = pool + nelem / 2;          // overlapping carve-out!
+  for (int i = 0; i < nnode; i++) {
+    dom->x[i] = (double)(i % 7) * 0.1;
+    dom->y[i] = (double)(i % 5) * 0.2;
+    dom->z[i] = (double)(i % 3) * 0.3;
+    dom->xd[i] = 0.0;
+    dom->yd[i] = 0.0;
+    dom->zd[i] = 0.0;
+  }
+  for (int k = 0; k < nelem; k++) {
+    dom->e[k] = (k == 0) ? 3.948746e+7 * 0.000001 : 0.0;
+    dom->p[k] = 0.0;
+    dom->q[k] = 0.0;
+    dom->v[k] = 1.0;
+    dom->delv[k] = 0.0;
+  }
+}
+'''
+
+_KERNELS_SEQ_BODY = r'''
+void CalcForceForNodes(struct Domain* dom) {
+  int nnode = dom->nnode;
+  int nelem = dom->nelem;
+  double* fx = dom->fx;
+  double* fy = dom->fy;
+  double* fz = dom->fz;
+  double* dvdx = dom->dvdx;
+  double* delv = dom->delv;
+  double* p = dom->p;
+  double* q = dom->q;
+  for (int i = 0; i < nnode; i++) {
+    fx[i] = 0.0;
+    fy[i] = 0.0;
+    fz[i] = 0.0;
+  }
+  // hourglass pass through the pooled scratch: dvdx[k] IS
+  // delv[k + nelem/2], so this streaming loop carries a serial
+  // dependence between the two "different" arrays — vectorizing it
+  // under a wrong no-alias answer corrupts the lanes
+  // (edge = 8 build: nelem = 64, so the pool carve-out is at 32)
+  for (int k = 0; k < 32; k++) {
+    dvdx[k] = delv[k] + delv[k + 31] * 0.5 + p[k] * 0.1;
+  }
+  for (int k = 0; k < nelem; k++) {
+    delv[k] = delv[k] * 0.99 + q[k] * 0.01 + 0.001;
+  }
+  for (int k = 0; k < nelem; k++) {
+    int n = k % nnode;
+    fx[n] = fx[n] + dom->p[k] * 0.3 + delv[k] * 0.1;
+    fy[n] = fy[n] + dom->q[k] * 0.2;
+    fz[n] = fz[n] + dom->e[k] * 0.05;
+  }
+}
+
+void CalcVelocityForNodes(struct Domain* dom, double dt) {
+  int nnode = dom->nnode;
+  double* xd = dom->xd;
+  double* yd = dom->yd;
+  double* zd = dom->zd;
+  double* fx = dom->fx;
+  double* fy = dom->fy;
+  double* fz = dom->fz;
+  for (int i = 0; i < nnode; i++) {
+    xd[i] = xd[i] + fx[i] * dt;
+    yd[i] = yd[i] + fy[i] * dt;
+    zd[i] = zd[i] + fz[i] * dt;
+  }
+}
+
+void CalcPositionForNodes(struct Domain* dom, double dt) {
+  int nnode = dom->nnode;
+  double* x = dom->x;
+  double* y = dom->y;
+  double* z = dom->z;
+  double* xd = dom->xd;
+  double* yd = dom->yd;
+  double* zd = dom->zd;
+  for (int i = 0; i < nnode; i++) {
+    x[i] = x[i] + xd[i] * dt;
+    y[i] = y[i] + yd[i] * dt;
+    z[i] = z[i] + zd[i] * dt;
+  }
+}
+
+void CalcEnergyForElems(struct Domain* dom, double dt) {
+  int nelem = dom->nelem;
+  double* e = dom->e;
+  double* p = dom->p;
+  double* q = dom->q;
+  double* v = dom->v;
+  double* delv = dom->delv;
+  double* dvdx = dom->dvdx;
+  int half = nelem / 2;
+  for (int k = 0; k < nelem; k++) {
+    double vnew = v[k] + delv[k] * dt * 0.01;
+    // EOS correction through the pooled scratch: the second delv read
+    // must observe the dvdx store (same memory), a store-to-load pair
+    // an optimistic EarlyCSE breaks
+    if (k >= half) {
+      double before = delv[k];
+      dvdx[k - half] = before * 0.5 + e[k] * 0.25;
+      double after = delv[k];
+      q[k] = q[k] + (after - before * 0.5) * 0.125;
+    }
+    if (vnew < 0.1) { vnew = 0.1; }
+    double ssc = sqrt(fabs(e[k]) * 0.3 + 0.001);
+    q[k] = q[k] * 0.5 + ssc * fabs(delv[k]) * 0.5;
+    p[k] = e[k] * 0.6666 / vnew;
+    e[k] = e[k] - 0.5 * delv[k] * (p[k] + q[k]) * dt;
+    if (e[k] < 0.0000001) { e[k] = 0.0000001; }
+    v[k] = vnew;
+  }
+}
+'''
+
+_TIMESTEP_SEQ = r'''
+void LagrangeLeapFrog(struct Domain* dom, double dt) {
+  CalcForceForNodes(dom);
+  CalcVelocityForNodes(dom, dt);
+  CalcPositionForNodes(dom, dt);
+  CalcEnergyForElems(dom, dt);
+}
+'''
+
+_MAIN_TMPL = r'''
+int main() {
+  struct Domain dom;
+  domain_init(&dom, EDGE);
+  double dt = 0.001;
+  int steps = NSTEPS;
+  double t0 = wtime();
+  for (int s = 0; s < steps; s++) {
+    LagrangeLeapFrog(&dom, dt);
+  }
+  double t1 = wtime();
+  double esum = 0.0;
+  for (int k = 0; k < dom.nelem; k++) { esum = esum + dom.e[k]; }
+  double xsum = 0.0;
+  for (int i = 0; i < dom.nnode; i++) { xsum = xsum + dom.x[i]; }
+  printf("LULESH proxy\n");
+  printf("Final Origin Energy = %.9f\n", esum);
+  printf("Node position checksum = %.9f\n", xsum);
+  printf("Iteration count = %d\n", steps);
+  printf("Elapsed time = %.6f s\n", t1 - t0);
+  return 0;
+}
+'''
+
+_TIMED_FUNCTIONS = ["CalcForceForNodes", "CalcVelocityForNodes",
+                    "CalcPositionForNodes", "CalcEnergyForElems",
+                    "LagrangeLeapFrog"]
+
+
+def _seq_source(edge: int = 8, steps: int = 4) -> str:
+    return (_DOMAIN + _KERNELS_SEQ_BODY + _TIMESTEP_SEQ
+            + _MAIN_TMPL.replace("EDGE", str(edge)).replace(
+                "NSTEPS", str(steps)))
+
+
+def _omp_source(edge: int = 8, steps: int = 4) -> str:
+    body = _KERNELS_SEQ_BODY
+    # parallelize the three node sweeps (as lulesh.cc does)
+    body = body.replace(
+        "  for (int i = 0; i < nnode; i++) {\n    fx[i] = 0.0;",
+        "  #pragma omp parallel for\n"
+        "  for (int i = 0; i < nnode; i++) {\n    fx[i] = 0.0;")
+    body = body.replace(
+        "  for (int i = 0; i < nnode; i++) {\n    xd[i] = xd[i] + fx[i] * dt;",
+        "  #pragma omp parallel for\n"
+        "  for (int i = 0; i < nnode; i++) {\n    xd[i] = xd[i] + fx[i] * dt;")
+    body = body.replace(
+        "  for (int i = 0; i < nnode; i++) {\n    x[i] = x[i] + xd[i] * dt;",
+        "  #pragma omp parallel for\n"
+        "  for (int i = 0; i < nnode; i++) {\n    x[i] = x[i] + xd[i] * dt;")
+    return (_DOMAIN + body + _TIMESTEP_SEQ
+            + _MAIN_TMPL.replace("EDGE", str(edge)).replace(
+                "NSTEPS", str(steps)))
+
+
+_MPI_MAIN = r'''
+int main() {
+  int rank = mpi_comm_rank();
+  int nranks = mpi_comm_size();
+  struct Domain dom;
+  domain_init(&dom, EDGE);
+  // rank-dependent initial perturbation (domain decomposition)
+  for (int k = 0; k < dom.nelem; k++) {
+    dom.e[k] = dom.e[k] + 0.001 * rank;
+  }
+  double dt = 0.001;
+  int steps = NSTEPS;
+  double t0 = wtime();
+  for (int s = 0; s < steps; s++) {
+    LagrangeLeapFrog(&dom, dt);
+    // halo-style reduction: agree on the next time step
+    double emax = 0.0;
+    for (int k = 0; k < dom.nelem; k++) {
+      if (dom.e[k] > emax) { emax = dom.e[k]; }
+    }
+    double gmax = mpi_allreduce_max_f64(emax);
+    dt = 0.001 / (1.0 + gmax * 0.001);
+  }
+  double t1 = wtime();
+  double esum = 0.0;
+  for (int k = 0; k < dom.nelem; k++) { esum = esum + dom.e[k]; }
+  double gsum = mpi_allreduce_sum_f64(esum);
+  if (rank == 0) {
+    printf("LULESH proxy (MPI, %d ranks)\n", nranks);
+    printf("Final Origin Energy = %.9f\n", gsum);
+    printf("Iteration count = %d\n", steps);
+    printf("Elapsed time = %.6f s\n", t1 - t0);
+  }
+  return 0;
+}
+'''
+
+
+def _mpi_source(edge: int = 10, steps: int = 4) -> str:
+    return (_DOMAIN + _KERNELS_SEQ_BODY + _TIMESTEP_SEQ
+            + _MPI_MAIN.replace("EDGE", str(edge)).replace(
+                "NSTEPS", str(steps)))
+
+
+def config_seq() -> BenchmarkConfig:
+    return BenchmarkConfig(
+        name="lulesh-seq",
+        sources=[SourceFile("lulesh.cc", _seq_source())],
+        frontend="clang++",
+        probe_functions=list(_TIMED_FUNCTIONS),
+        output_filters=list(_FILTERS),
+    )
+
+
+def config_openmp() -> BenchmarkConfig:
+    return BenchmarkConfig(
+        name="lulesh-openmp",
+        sources=[SourceFile("lulesh.cc", _omp_source())],
+        frontend="clang++",
+        probe_functions=list(_TIMED_FUNCTIONS),
+        num_threads=4,
+        output_filters=list(_FILTERS),
+    )
+
+
+def config_mpi() -> BenchmarkConfig:
+    return BenchmarkConfig(
+        name="lulesh-mpi",
+        sources=[SourceFile("lulesh.cc", _mpi_source())],
+        frontend="mpicxx",
+        probe_functions=list(_TIMED_FUNCTIONS),
+        nranks=4,
+        output_filters=list(_FILTERS),
+    )
+
+
+register(
+    VariantInfo("LULESH", "seq", "C++", "lulesh", 30810, 188826, 35, 131,
+                416371, 668864, "+60.64%"),
+    config_seq)
+register(
+    VariantInfo("LULESH", "openmp", "C++, OpenMP", "lulesh", 29981, 128537,
+                15, 0, 195724, 385730, "+97.1%"),
+    config_openmp)
+register(
+    VariantInfo("LULESH", "mpi", "C++, MPI", "lulesh", 28832, 160032,
+                99, 207, 356965, 555141, "+55.5%"),
+    config_mpi)

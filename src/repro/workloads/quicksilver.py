@@ -1,0 +1,237 @@
+"""Quicksilver: proxy for the Mercury Monte Carlo transport code
+(paper §V-D).
+
+OpenMP, compiled as a manual-LTO build of several translation units.
+The performance profile matches the paper's description — dominated by
+branching and many small latency-bound loads through particle/tally
+pointers.  The run is *fully optimistic* (no pessimistic queries), and
+the interesting output is the statistics delta (Fig. 6): optimistic AA
+lets GVN forward tally loads across opaque-looking stores, DSE kill the
+audit scratch stores, and loop deletion remove the then-dead audit
+loops.
+
+The audit pattern (repeated across the tally file) is the engineered
+chain: ``chk`` loops summarize a tally buffer, the summary store is
+overwritten right after a read through an unrelated monitor pointer —
+provably-safe optimism deletes the store, then the summary loop.
+"""
+
+from __future__ import annotations
+
+from ..oraql.config import BenchmarkConfig, SourceFile
+from .base import VariantInfo, register
+
+_FILTERS = [(r"cycle time .*", "cycle time <T>")]
+
+_PARTICLE_H = r'''
+struct Particle {
+  double x; double y; double z;
+  double dx; double dy; double dz;
+  double energy;
+  double weight;
+  int cell;
+  int alive;
+};
+'''
+
+_PARTICLE = _PARTICLE_H + r'''
+double qs_rn(int* seed) {
+  int s = seed[0];
+  s = (s * 1103515245 + 12345) % 2147483648;
+  if (s < 0) { s = -s; }
+  seed[0] = s;
+  return (double)s / 2147483648.0;
+}
+
+void init_particles(struct Particle* vault, int n) {
+  int seed = 1234;
+  for (int i = 0; i < n; i++) {
+    vault[i].x = qs_rn(&seed) * 10.0;
+    vault[i].y = qs_rn(&seed) * 10.0;
+    vault[i].z = qs_rn(&seed) * 10.0;
+    vault[i].dx = qs_rn(&seed) - 0.5;
+    vault[i].dy = qs_rn(&seed) - 0.5;
+    vault[i].dz = qs_rn(&seed) - 0.5;
+    vault[i].energy = 1.0 + qs_rn(&seed);
+    vault[i].weight = 1.0;
+    vault[i].cell = i % 27;
+    vault[i].alive = 1;
+  }
+}
+'''
+
+_SEGMENT_BODY = r'''
+double qs_rn(int* seed);
+
+double dist_to_census(double energy) {
+  return 0.5 / (energy + 0.1);
+}
+
+double dist_to_collision(double xs, double r) {
+  if (r < 0.0000001) { r = 0.0000001; }
+  return 0.2 / (xs * r + 0.01);
+}
+
+double dist_to_facet(struct Particle* p) {
+  double d = 10.0;
+  if (p->dx > 0.001) { double c = (10.0 - p->x) / p->dx; if (c < d) { d = c; } }
+  if (p->dx < -0.001) { double c = (0.0 - p->x) / p->dx; if (c < d) { d = c; } }
+  if (p->dy > 0.001) { double c = (10.0 - p->y) / p->dy; if (c < d) { d = c; } }
+  if (p->dy < -0.001) { double c = (0.0 - p->y) / p->dy; if (c < d) { d = c; } }
+  return d;
+}
+
+int track_segment(struct Particle* p, double* tallies, int* seed) {
+  double xs = 0.3 + 0.05 * (p->cell % 3);
+  double r = qs_rn(seed);
+  double dcen = dist_to_census(p->energy);
+  double dcol = dist_to_collision(xs, r);
+  double dfac = dist_to_facet(p);
+  double d = dcen;
+  int event = 0;
+  if (dcol < d) { d = dcol; event = 1; }
+  if (dfac < d) { d = dfac; event = 2; }
+  p->x = p->x + p->dx * d;
+  p->y = p->y + p->dy * d;
+  p->z = p->z + p->dz * d;
+  tallies[p->cell] = tallies[p->cell] + p->weight * d;
+  if (event == 1) {
+    double rr = qs_rn(seed);
+    p->dx = rr - 0.5;
+    p->dy = 0.5 - rr;
+    p->energy = p->energy * 0.7;
+    if (p->energy < 0.05) { p->alive = 0; }
+    tallies[27] = tallies[27] + 1.0;
+  }
+  if (event == 2) {
+    p->cell = (p->cell + 1) % 27;
+    if (p->x < 0.0) { p->x = 0.0; }
+    if (p->x > 10.0) { p->x = 10.0; }
+    tallies[28] = tallies[28] + 1.0;
+  }
+  if (event == 0) { p->alive = 0; }
+  return event;
+}
+'''
+
+_TALLIES = r'''
+// audit summaries: each block computes a checksum of a tally window,
+// publishes it, reads an unrelated monitor cell, and then overwrites
+// the published value with the final figure.  Safe optimism removes
+// the whole summary computation (DSE + loop deletion, Fig. 6).
+void audit_tallies(double* tallies, double* monitor, double* report,
+                   int n) {
+  double c0 = 0.0;
+  for (int i = 0; i < n; i++) { c0 = c0 + tallies[i]; }
+  report[0] = c0;
+  double m0 = monitor[0];
+  report[0] = m0 * 0.0 + 1.0;
+
+  double c1 = 0.0;
+  for (int i = 0; i < n; i++) { c1 = c1 + tallies[i] * tallies[i]; }
+  report[1] = c1;
+  double m1 = monitor[1];
+  report[1] = m1 * 0.0 + 2.0;
+
+  double c2 = 0.0;
+  for (int i = 1; i < n; i++) { c2 = c2 + tallies[i] - tallies[i - 1]; }
+  report[2] = c2;
+  double m2 = monitor[0];
+  report[2] = m2 * 0.0 + 3.0;
+
+  double c3 = 0.0;
+  for (int i = 0; i < n; i++) { c3 = c3 + tallies[i] * 0.5; }
+  report[3] = c3;
+  double m3 = monitor[1];
+  report[3] = m3 * 0.0 + 4.0;
+
+  double c4 = 1.0;
+  for (int i = 0; i < n; i++) { c4 = c4 * (1.0 + tallies[i] * 0.001); }
+  report[4] = c4;
+  double m4 = monitor[0];
+  report[4] = m4 * 0.0 + 5.0;
+}
+
+double sum_tallies(double* tallies, int n) {
+  double s = 0.0;
+  for (int i = 0; i < n; i++) { s = s + tallies[i]; }
+  return s;
+}
+'''
+
+_MAIN_BODY = r'''
+void init_particles(struct Particle* vault, int n);
+int track_segment(struct Particle* p, double* tallies, int* seed);
+void audit_tallies(double* tallies, double* monitor, double* report, int n);
+double sum_tallies(double* tallies, int n);
+
+int main() {
+  int nparticles = 120;
+  int nsteps = 4;
+  struct Particle* vault =
+      (struct Particle*)malloc(nparticles * 80);
+  double* tallies = (double*)malloc(32 * sizeof(double));
+  double* monitor = (double*)malloc(4 * sizeof(double));
+  double* report = (double*)malloc(8 * sizeof(double));
+  double* scalars = (double*)malloc(nparticles * sizeof(double));
+  for (int i = 0; i < 32; i++) { tallies[i] = 0.0; }
+  monitor[0] = 0.5;
+  monitor[1] = 0.25;
+  init_particles(vault, nparticles);
+  double t0 = wtime();
+  for (int step = 0; step < nsteps; step++) {
+    #pragma omp parallel for
+    for (int i = 0; i < nparticles; i++) {
+      int seed = 777 + i * 13 + step;
+      if (vault[i].alive == 1) {
+        int segs = 0;
+        while (vault[i].alive == 1 && segs < 6) {
+          track_segment(&vault[i], tallies, &seed);
+          segs = segs + 1;
+        }
+        scalars[i] = vault[i].energy * vault[i].weight;
+      }
+    }
+    audit_tallies(tallies, monitor, report, 27);
+  }
+  double t1 = wtime();
+  double absorb = tallies[27];
+  double facets = tallies[28];
+  double total = sum_tallies(tallies, 27);
+  double senergy = 0.0;
+  for (int i = 0; i < nparticles; i++) { senergy = senergy + scalars[i]; }
+  printf("Quicksilver proxy\n");
+  printf("scalar flux tally = %.9f\n", total);
+  printf("collisions = %.1f, facet crossings = %.1f\n", absorb, facets);
+  printf("energy checksum = %.9f\n", senergy);
+  printf("report = %.3f %.3f %.3f %.3f %.3f\n",
+         report[0], report[1], report[2], report[3], report[4]);
+  printf("cycle time %.6f s\n", t1 - t0);
+  return 0;
+}
+'''
+
+_SEGMENT = _PARTICLE_H + _SEGMENT_BODY
+_MAIN = _PARTICLE_H + _MAIN_BODY
+
+
+def config_openmp() -> BenchmarkConfig:
+    return BenchmarkConfig(
+        name="quicksilver-openmp",
+        sources=[
+            SourceFile("Particle.cc", _PARTICLE),
+            SourceFile("MC_Segment.cc", _SEGMENT),
+            SourceFile("Tallies.cc", _TALLIES),
+            SourceFile("main.cc", _MAIN),
+        ],
+        frontend="clang++",
+        lto=True,
+        num_threads=4,
+        output_filters=list(_FILTERS),
+    )
+
+
+register(
+    VariantInfo("Quicksilver", "openmp", "C++, OpenMP", "all (manual LTO)",
+                31312, 68542, 0, 0, 135504, 242001, "+78.5%"),
+    config_openmp)

@@ -1,0 +1,327 @@
+"""XSBench: proxy for the OpenMC Monte Carlo neutron transport lookup
+kernel (paper §V-B).
+
+Three configurations — sequential C, OpenMP, and CUDA with a
+Thrust-style device-vector wrapper — probing only the ``Simulation``
+file, as the paper does.  All three share ``pick_mat`` and its constant
+``double dist[12]`` distribution array: the in-place normalization
+helpers are called with *overlapping windows* of ``dist``, and those
+(real) aliases are the pessimistic queries — the same ones in every
+variant, exactly the paper's observation.
+
+The CUDA variant routes all data through Thrust-style wrapper structs
+(``dvec``), whose accessor indirection multiplies the residual query
+count (the paper's "layers of indirection in that library").
+"""
+
+from __future__ import annotations
+
+from ..oraql.config import BenchmarkConfig, SourceFile
+from .base import VariantInfo, register
+
+_FILTERS = [(r"Runtime:.*", "Runtime: <T>")]
+
+# -- shared: materials + pick_mat with the dist[12] hazard ------------------
+
+_PICK_MAT = r'''
+// in-place smoothing over two overlapping windows of dist (real alias)
+void dist_smooth(double* a, double* b, int n) {
+  for (int i = 0; i < n; i++) {
+    b[i] = b[i] * 0.6 + a[i] * 0.4;
+  }
+}
+
+// running total accumulated into a cell that is itself part of dist
+void dist_total(double* a, double* acc, int n) {
+  acc[0] = 0.0;
+  for (int i = 0; i < n; i++) {
+    acc[0] = acc[0] + a[i];
+  }
+}
+
+// normalize dist by a scale factor read from inside dist
+void dist_scale(double* a, double* s, int n) {
+  for (int i = 0; i < n; i++) {
+    a[i] = a[i] / s[0];
+  }
+}
+
+// reverse blend over two windows that genuinely overlap
+void dist_blend(double* a, double* b, int n) {
+  for (int i = 0; i < n; i++) {
+    a[i] = a[i] * 0.8 + b[i + 1] * 0.2;
+  }
+}
+
+// clamp against a limit cell that sits inside the distribution
+void dist_clamp(double* d, double* limit, int n) {
+  for (int i = 0; i < n; i++) {
+    if (d[i] > limit[0]) { d[i] = limit[0] * 0.999; }
+  }
+}
+
+int pick_mat(double roll) {
+  double dist[12];
+  dist[0] = 0.140;
+  dist[1] = 0.052;
+  dist[2] = 0.275;
+  dist[3] = 0.134;
+  dist[4] = 0.154;
+  dist[5] = 0.064;
+  dist[6] = 0.066;
+  dist[7] = 0.055;
+  dist[8] = 0.008;
+  dist[9] = 0.015;
+  dist[10] = 0.025;
+  dist[11] = 0.013;
+  dist_smooth(dist, dist + 1, 10);      // windows overlap by one
+  dist_blend(dist + 2, dist, 9);        // reversed overlapping windows
+  dist_total(dist, dist + 5, 11);       // total lands inside the window
+  dist_scale(dist, dist + 5, 11);       // scale by the in-band total
+  dist_clamp(dist, dist + 3, 11);       // limit cell inside dist
+  double running = 0.0;
+  for (int i = 0; i < 11; i++) {
+    running = running + dist[i];
+    if (roll < running) { return i; }
+  }
+  return 11;
+}
+'''
+
+_GRID = r'''
+double rn(int* seed) {
+  int s = seed[0];
+  s = (s * 1103515245 + 12345) % 2147483648;
+  if (s < 0) { s = -s; }
+  seed[0] = s;
+  return (double)s / 2147483648.0;
+}
+
+void init_grids(double* egrid, double* xs, int ngrid, int nmat) {
+  for (int g = 0; g < ngrid; g++) {
+    egrid[g] = (double)g / ngrid;
+    for (int m = 0; m < nmat; m++) {
+      xs[g * nmat + m] = 0.1 + 0.01 * m + 0.001 * g;
+    }
+  }
+}
+
+// safely-optimistic helpers: callers always pass disjoint buffers
+void accumulate_tally(double* tally, double* vals, int n) {
+  for (int i = 0; i < n; i++) { tally[i] = tally[i] + vals[i]; }
+}
+
+double interpolate(double* lo, double* hi, double f) {
+  return lo[0] + f * (hi[0] - lo[0]);
+}
+
+void macro_xs(double* out, double* micro, double* conc, int n) {
+  for (int i = 0; i < n; i++) { out[i] = micro[i] * conc[i]; }
+}
+
+int grid_search(double* egrid, double e, int ngrid) {
+  int lo = 0;
+  int hi = ngrid - 1;
+  while (hi - lo > 1) {
+    int mid = (lo + hi) / 2;
+    if (egrid[mid] < e) { lo = mid; } else { hi = mid; }
+  }
+  return lo;
+}
+
+double calculate_xs(double* egrid, double* xs, double e, int mat,
+                    int ngrid, int nmat) {
+  int g = grid_search(egrid, e, ngrid);
+  double f = (e - egrid[g]) * ngrid;
+  double micro[4];
+  double conc[4];
+  double macro[4];
+  for (int k = 0; k < 4; k++) {
+    micro[k] = xs[g * nmat + ((mat + k) % nmat)];
+    conc[k] = 0.25 + 0.1 * k;
+    macro[k] = 0.0;
+  }
+  macro_xs(macro, micro, conc, 4);
+  double tot[4];
+  for (int k = 0; k < 4; k++) { tot[k] = 0.0; }
+  accumulate_tally(tot, macro, 4);
+  double lowv = xs[g * nmat + mat];
+  double highv = xs[(g + 1) * nmat + mat];
+  return interpolate(&lowv, &highv, f) + tot[0] * 0.001 + tot[3] * 0.0001;
+}
+'''
+
+_SEQ_DRIVER = r'''
+int main() {
+  int ngrid = 64;
+  int nmat = 12;
+  int lookups = 200;
+  double* egrid = (double*)malloc(ngrid * sizeof(double));
+  double* xs = (double*)malloc(ngrid * nmat * sizeof(double));
+  init_grids(egrid, xs, ngrid, nmat);
+  int seed = 42;
+  double vhash = 0.0;
+  double t0 = wtime();
+  for (int l = 0; l < lookups; l++) {
+    double e = rn(&seed);
+    double roll = rn(&seed);
+    int mat = pick_mat(roll);
+    double v = calculate_xs(egrid, xs, e, mat, ngrid, nmat);
+    vhash = vhash + v * (1.0 + 0.0001 * mat);
+  }
+  double t1 = wtime();
+  printf("XSBench (event-based)\n");
+  printf("Lookups: %d\n", lookups);
+  printf("Verification checksum = %.9f\n", vhash);
+  printf("Runtime: %.6f s\n", t1 - t0);
+  return 0;
+}
+'''
+
+_OMP_DRIVER = r'''
+int main() {
+  int ngrid = 64;
+  int nmat = 12;
+  int lookups = 200;
+  double* egrid = (double*)malloc(ngrid * sizeof(double));
+  double* xs = (double*)malloc(ngrid * nmat * sizeof(double));
+  double* partial = (double*)malloc(lookups * sizeof(double));
+  init_grids(egrid, xs, ngrid, nmat);
+  double t0 = wtime();
+  #pragma omp parallel for
+  for (int l = 0; l < lookups; l++) {
+    int seed = 42 + l * 7;
+    double e = rn(&seed);
+    double roll = rn(&seed);
+    int mat = pick_mat(roll);
+    double v = calculate_xs(egrid, xs, e, mat, ngrid, nmat);
+    partial[l] = v * (1.0 + 0.0001 * mat);
+  }
+  double vhash = 0.0;
+  for (int l = 0; l < lookups; l++) { vhash = vhash + partial[l]; }
+  double t1 = wtime();
+  printf("XSBench (event-based, OpenMP)\n");
+  printf("Lookups: %d\n", lookups);
+  printf("Verification checksum = %.9f\n", vhash);
+  printf("Runtime: %.6f s\n", t1 - t0);
+  return 0;
+}
+'''
+
+# Thrust-style device vectors: every access goes through a wrapper
+# struct and accessor calls — the indirection layers behind the CUDA
+# variant's much larger query count.
+_CUDA_DRIVER = r'''
+struct dvec { double* data; int n; };
+struct ivec { int* data; int n; };
+
+double dv_get(struct dvec* v, int i) { return v->data[i]; }
+void dv_set(struct dvec* v, int i, double x) { v->data[i] = x; }
+double* dv_raw(struct dvec* v) { return v->data; }
+int dv_size(struct dvec* v) { return v->n; }
+
+__global__ void xs_kernel(struct dvec* egrid, struct dvec* xs,
+                          struct dvec* out, int ngrid, int nmat,
+                          int lookups) {
+  int t = cuda_thread_id();
+  int total = cuda_num_threads();
+  for (int l = t; l < lookups; l += total) {
+    int seed = 42 + l * 7;
+    double e = rn(&seed);
+    double roll = rn(&seed);
+    int mat = pick_mat(roll);
+    double* eg = dv_raw(egrid);
+    double* xsv = dv_raw(xs);
+    double v = calculate_xs(eg, xsv, e, mat, ngrid, nmat);
+    dv_set(out, l, v * (1.0 + 0.0001 * mat));
+  }
+}
+
+__global__ void reduce_kernel(struct dvec* out, struct dvec* result,
+                              int lookups) {
+  int t = cuda_thread_id();
+  if (t == 0) {
+    double s = 0.0;
+    for (int l = 0; l < lookups; l++) { s = s + dv_get(out, l); }
+    dv_set(result, 0, s);
+  }
+}
+
+int main() {
+  int ngrid = 64;
+  int nmat = 12;
+  int lookups = 200;
+  struct dvec egrid;
+  struct dvec xs;
+  struct dvec out;
+  struct dvec result;
+  egrid.data = (double*)malloc(ngrid * sizeof(double));
+  egrid.n = ngrid;
+  xs.data = (double*)malloc(ngrid * nmat * sizeof(double));
+  xs.n = ngrid * nmat;
+  out.data = (double*)malloc(lookups * sizeof(double));
+  out.n = lookups;
+  result.data = (double*)malloc(sizeof(double));
+  result.n = 1;
+  init_grids(egrid.data, xs.data, ngrid, nmat);
+  double t0 = wtime();
+  launch(xs_kernel, 1, 64, &egrid, &xs, &out, ngrid, nmat, lookups);
+  launch(reduce_kernel, 1, 1, &out, &result, lookups);
+  cuda_device_synchronize();
+  double t1 = wtime();
+  printf("XSBench (event-based, CUDA + Thrust)\n");
+  printf("Lookups: %d\n", lookups);
+  printf("Verification checksum = %.9f\n", result.data[0]);
+  printf("Runtime: %.6f s\n", t1 - t0);
+  return 0;
+}
+'''
+
+
+def _source(driver: str) -> str:
+    return _PICK_MAT + _GRID + driver
+
+
+def config_seq() -> BenchmarkConfig:
+    return BenchmarkConfig(
+        name="xsbench-seq",
+        sources=[SourceFile("Simulation.c", _source(_SEQ_DRIVER))],
+        frontend="clang",
+        probe_files=["Simulation.c"],
+        output_filters=list(_FILTERS),
+    )
+
+
+def config_openmp() -> BenchmarkConfig:
+    return BenchmarkConfig(
+        name="xsbench-openmp",
+        sources=[SourceFile("Simulation.c", _source(_OMP_DRIVER))],
+        frontend="clang",
+        probe_files=["Simulation.c"],
+        num_threads=4,
+        output_filters=list(_FILTERS),
+    )
+
+
+def config_cuda() -> BenchmarkConfig:
+    return BenchmarkConfig(
+        name="xsbench-cuda",
+        sources=[SourceFile("Simulation.c", _source(_CUDA_DRIVER))],
+        frontend="clang++",
+        probe_files=["Simulation.c"],
+        output_filters=list(_FILTERS),
+    )
+
+
+register(
+    VariantInfo("XSBench", "seq", "C", "Simulation", 415, 168, 11, 1,
+                9954, 10522, "+5.7%"),
+    config_seq)
+register(
+    VariantInfo("XSBench", "openmp", "C, OpenMP", "Simulation", 546, 1294,
+                11, 1, 12131, 13480, "+11.1%"),
+    config_openmp)
+register(
+    VariantInfo("XSBench", "cuda-thrust", "CUDA, Thrust", "Simulation",
+                3731, 16734, 11, 1, 33312, 53942, "+43.1%"),
+    config_cuda)

@@ -1,0 +1,23 @@
+"""Shared pytest fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir import F64, FunctionType, I64, IRBuilder, Module, ptr
+
+
+@pytest.fixture
+def module():
+    return Module("test")
+
+
+@pytest.fixture
+def simple_fn(module):
+    """A function double f(double* a, double* b, i64 n) with an entry
+    block and a builder positioned in it."""
+    fn = module.add_function(
+        FunctionType(F64, [ptr(F64), ptr(F64), I64]), "f", ["a", "b", "n"])
+    bb = fn.add_block("entry")
+    b = IRBuilder(bb)
+    return fn, b

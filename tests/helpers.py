@@ -1,0 +1,72 @@
+"""IR-building and execution helpers shared by the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.ir import (
+    F64,
+    FunctionType,
+    I64,
+    IRBuilder,
+    Module,
+    VOID,
+    ptr,
+    verify_module,
+)
+from repro.passes import CompilationContext, PassManager, build_pipeline
+from repro.vm import Machine
+
+
+def run_main(module, entry="main", max_steps=10_000_000, **kw):
+    """Execute a module's entry point; assert clean completion."""
+    m = Machine(module, max_steps=max_steps, **kw)
+    m.start(entry)
+    m.run_to_completion()
+    assert m.state == "done", f"{m.state}: {m.error}"
+    return m
+
+
+def compile_and_run(source, opt_level=3, entry="main", filename="t.c",
+                    verify_each=False, **kw):
+    """MiniC -> IR -> pipeline -> run; returns (machine, ctx)."""
+    module = compile_source(source, filename)
+    verify_module(module)
+    ctx = CompilationContext(module, verify_each=verify_each)
+    PassManager(ctx).run(build_pipeline(opt_level))
+    verify_module(module)
+    return run_main(module, entry, **kw), ctx
+
+
+def differential(source, entry="main", levels=(0, 1, 2, 3), **kw):
+    """Assert identical stdout across optimization levels."""
+    outputs = []
+    for lvl in levels:
+        module = compile_source(source, "t.c")
+        ctx = CompilationContext(module)
+        PassManager(ctx).run(build_pipeline(lvl))
+        verify_module(module)
+        m = run_main(module, entry, **kw)
+        outputs.append(m.output())
+    for lvl, out in zip(levels[1:], outputs[1:]):
+        assert out == outputs[0], (
+            f"O{lvl} output differs from O{levels[0]}:\n"
+            f"{outputs[0]!r}\nvs\n{out!r}")
+    return outputs[0]
+
+
+@pytest.fixture
+def module():
+    return Module("test")
+
+
+@pytest.fixture
+def simple_fn(module):
+    """A function double f(double* a, double* b, i64 n) with an entry
+    block and a builder positioned in it."""
+    fn = module.add_function(
+        FunctionType(F64, [ptr(F64), ptr(F64), I64]), "f", ["a", "b", "n"])
+    bb = fn.add_block("entry")
+    b = IRBuilder(bb)
+    return fn, b

@@ -1,0 +1,216 @@
+"""Tests for the ORAQL core: decision sequences, the pass (cache, dumps,
+scoping), and the verification script."""
+
+import os
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis import (
+    AliasResult,
+    LocationSize,
+    MemoryLocation,
+    build_aa_chain,
+)
+from repro.ir import F64, FunctionType, IRBuilder, Module, VOID, ptr
+from repro.oraql import (
+    ARG_MAX,
+    DecisionSequence,
+    DumpFlags,
+    OraqlAAPass,
+    VerificationScript,
+    all_optimistic,
+    sequence_from_pessimistic_set,
+)
+from repro.oraql.verify import RunResult
+
+
+class TestDecisionSequence:
+    def test_text_roundtrip(self):
+        s = DecisionSequence([1, 0, 1, 1, 0])
+        assert s.to_text() == "1 0 1 1 0"
+        assert DecisionSequence.from_text(s.to_text()) == s
+
+    def test_bad_token(self):
+        with pytest.raises(ValueError):
+            DecisionSequence.from_text("1 0 2")
+
+    def test_exhaustion_is_optimistic(self):
+        s = DecisionSequence([0])
+        assert s.next() is False
+        assert s.next() is True
+        assert s.next() is True
+        assert s.consumed == 3
+
+    def test_empty_sequence_all_optimistic(self):
+        s = all_optimistic()
+        assert all(s.next() for _ in range(10))
+
+    def test_argument_inline(self):
+        s = DecisionSequence([1, 0])
+        arg = s.to_argument()
+        assert arg == "-opt-aa-seq=1 0"
+        assert DecisionSequence.from_argument(arg) == s
+
+    def test_argument_spills_to_file(self, tmp_path):
+        s = DecisionSequence([1] * 5000)
+        arg = s.to_argument(workdir=str(tmp_path))
+        assert arg.startswith("-opt-aa-seq=@")
+        assert DecisionSequence.from_argument(arg) == s
+        path = arg.split("@", 1)[1]
+        assert os.path.exists(path)
+
+    def test_from_pessimistic_set(self):
+        s = sequence_from_pessimistic_set({1, 3})
+        assert s.bits == [1, 0, 1, 0]
+        assert sequence_from_pessimistic_set(set()).bits == []
+        assert sequence_from_pessimistic_set({0}, length=3).bits == [0, 1, 1]
+
+    @given(st.lists(st.integers(0, 1), max_size=200))
+    def test_roundtrip_property(self, bits):
+        s = DecisionSequence(bits)
+        assert DecisionSequence.from_text(s.to_text()).bits == s.bits
+
+
+@pytest.fixture
+def fn_locs(module):
+    fn = module.add_function(
+        FunctionType(VOID, [ptr(F64), ptr(F64), ptr(F64)]), "f",
+        ["a", "b", "c"])
+    IRBuilder(fn.add_block("entry"))
+    P8 = LocationSize.precise_(8)
+    la = MemoryLocation(fn.args[0], P8)
+    lb = MemoryLocation(fn.args[1], P8)
+    lc = MemoryLocation(fn.args[2], P8)
+    return fn, la, lb, lc
+
+
+class TestOraqlPass:
+    def test_sequence_consumed_per_unique_query(self, fn_locs):
+        fn, la, lb, lc = fn_locs
+        p = OraqlAAPass(DecisionSequence([1, 0]))
+        assert p.answer(la, lb, fn, "GVN") is AliasResult.NO
+        assert p.answer(la, lc, fn, "GVN") is AliasResult.MAY
+        assert p.opt_unique == 1 and p.pess_unique == 1
+
+    def test_cache_ignores_location_size(self, fn_locs):
+        """Paper §IV-A: queries are identical if they have the same
+        pointer pair, regardless of the location descriptions."""
+        fn, la, lb, _ = fn_locs
+        p = OraqlAAPass(DecisionSequence([1]))
+        assert p.answer(la, lb, fn, "GVN") is AliasResult.NO
+        big = la.with_size(LocationSize.before_or_after_pointer())
+        assert p.answer(big, lb, fn, "LICM") is AliasResult.NO
+        assert p.unique_queries == 1
+        assert p.cached_queries == 1
+
+    def test_cache_is_unordered(self, fn_locs):
+        fn, la, lb, _ = fn_locs
+        p = OraqlAAPass(DecisionSequence([0]))
+        assert p.answer(la, lb, fn, "GVN") is AliasResult.MAY
+        assert p.answer(lb, la, fn, "DSE") is AliasResult.MAY
+        assert p.pess_unique == 1 and p.pess_cached == 1
+
+    def test_consistency_across_passes(self, fn_locs):
+        """The same pair must get the same answer everywhere — the
+        self-consistency the cache exists to provide."""
+        fn, la, lb, _ = fn_locs
+        p = OraqlAAPass(DecisionSequence([1]))
+        answers = {p.answer(la, lb, fn, who)
+                   for who in ("GVN", "LICM", "DSE", "Memory SSA")}
+        assert answers == {AliasResult.NO}
+
+    def test_unique_count_reported(self, fn_locs):
+        fn, la, lb, lc = fn_locs
+        p = OraqlAAPass(DecisionSequence())
+        p.answer(la, lb, fn, "x")
+        p.answer(la, lc, fn, "x")
+        p.answer(lb, lc, fn, "x")
+        p.answer(la, lb, fn, "x")
+        stats = p.statistics()
+        assert stats["unique queries"] == 3
+        assert stats["cached queries"] == 1
+        assert p.sequence.consumed == 3
+
+    def test_target_filter(self, module):
+        host = module.add_function(FunctionType(VOID, [ptr(F64), ptr(F64)]),
+                                   "h", target="host")
+        dev = module.add_function(FunctionType(VOID, [ptr(F64), ptr(F64)]),
+                                  "d", target="nvptx")
+        P8 = LocationSize.precise_(8)
+        p = OraqlAAPass(DecisionSequence(), target_filter="nvptx")
+        lh = (MemoryLocation(host.args[0], P8),
+              MemoryLocation(host.args[1], P8))
+        ld = (MemoryLocation(dev.args[0], P8),
+              MemoryLocation(dev.args[1], P8))
+        assert p.answer(*lh, host, "x") is AliasResult.MAY  # filtered out
+        assert p.answer(*ld, dev, "x") is AliasResult.NO
+        assert p.unique_queries == 1
+
+    def test_probe_function_scope_covers_outlined(self, module):
+        fn = module.add_function(FunctionType(VOID, [ptr(F64), ptr(F64)]),
+                                 "kernel.omp_outlined..0")
+        P8 = LocationSize.precise_(8)
+        p = OraqlAAPass(DecisionSequence(), probe_functions={"kernel"})
+        l = (MemoryLocation(fn.args[0], P8), MemoryLocation(fn.args[1], P8))
+        assert p.answer(*l, fn, "x") is AliasResult.NO
+
+    def test_probe_file_scope(self, module):
+        fn = module.add_function(FunctionType(VOID, [ptr(F64), ptr(F64)]),
+                                 "f")
+        fn.source_file = "other.c"
+        P8 = LocationSize.precise_(8)
+        p = OraqlAAPass(DecisionSequence(), probe_files={"sna.cpp"})
+        l = (MemoryLocation(fn.args[0], P8), MemoryLocation(fn.args[1], P8))
+        assert p.answer(*l, fn, "x") is AliasResult.MAY
+
+    def test_dump_requires_one_of_each_axis(self):
+        assert not DumpFlags(first=True).any()
+        assert not DumpFlags(optimistic=True).any()
+        assert DumpFlags(first=True, pessimistic=True).any()
+
+    def test_pessimistic_records_render_like_fig3(self, fn_locs):
+        fn, la, lb, _ = fn_locs
+        p = OraqlAAPass(DecisionSequence([0]))
+        p.answer(la, lb, fn, "Global Value Numbering")
+        recs = p.pessimistic_records()
+        assert len(recs) == 1
+        text = "\n".join(recs[0].render())
+        assert "[ORAQL] Pessimistic query [Cached 0]" in text
+        assert "[ORAQL] Scope: f" in text
+        assert "LocationSize" in text
+
+
+class TestVerificationScript:
+    def test_exact_match(self):
+        v = VerificationScript(["hello\n"])
+        assert v.check(RunResult("hello\n", "done"))
+        assert not v.check(RunResult("hellO\n", "done"))
+
+    def test_filters_mask_noise(self):
+        v = VerificationScript(
+            ["result 5\ntime <T>\n"],
+            filters=[(r"time .*", "time <T>")])
+        assert v.check(RunResult("result 5\ntime 0.123\n", "done"))
+        assert not v.check(RunResult("result 6\ntime 0.123\n", "done"))
+
+    def test_multiple_references(self):
+        v = VerificationScript(["a\n", "b\n"])
+        assert v.check(RunResult("a\n", "done"))
+        assert v.check(RunResult("b\n", "done"))
+        assert not v.check(RunResult("c\n", "done"))
+
+    def test_failed_runs_never_verify(self):
+        v = VerificationScript(["x\n"])
+        assert not v.check(RunResult("x\n", "trapped", "boom"))
+        assert not v.check(RunResult("x\n", "blocked"))
+
+    def test_needs_reference(self):
+        with pytest.raises(ValueError):
+            VerificationScript([])
+
+    def test_explain(self):
+        v = VerificationScript(["abcdef\n"])
+        msg = v.explain(RunResult("abcxef\n", "done"))
+        assert "mismatch" in msg
+        assert "ok" == v.explain(RunResult("abcdef\n", "done"))

@@ -1,0 +1,202 @@
+"""Differential testing of the whole optimization pipeline.
+
+The strongest correctness property we have: for any program, the output
+of the O0 build and the O3 build must be identical (the compiler may
+only get *faster*, never different).  We check a curated corpus plus a
+hypothesis-generated family of random straight-line/loop programs.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from helpers import differential
+
+CORPUS = {
+    "stencil": """
+    int main() {
+      double a[32]; double b[32];
+      for (int i = 0; i < 32; i++) { a[i] = i * 0.5; b[i] = 0.0; }
+      for (int i = 1; i < 31; i++) {
+        b[i] = 0.25 * a[i - 1] + 0.5 * a[i] + 0.25 * a[i + 1];
+      }
+      double s = 0.0;
+      for (int i = 0; i < 32; i++) { s = s + b[i]; }
+      printf("%.6f\\n", s);
+      return 0;
+    }
+    """,
+    "in_place_update": """
+    int main() {
+      double a[16];
+      for (int i = 0; i < 16; i++) { a[i] = i; }
+      for (int i = 1; i < 16; i++) { a[i] = a[i] + a[i - 1]; }
+      printf("%.1f\\n", a[15]);
+      return 0;
+    }
+    """,
+    "branchy_max": """
+    int main() {
+      double a[20];
+      for (int i = 0; i < 20; i++) {
+        a[i] = (i % 3 == 0) ? (20.0 - i) : (i * 1.5);
+      }
+      double mx = a[0];
+      int arg = 0;
+      for (int i = 1; i < 20; i++) {
+        if (a[i] > mx) { mx = a[i]; arg = i; }
+      }
+      printf("%.1f %d\\n", mx, arg);
+      return 0;
+    }
+    """,
+    "struct_swap": """
+    struct Pair { double lo; double hi; };
+    void order(struct Pair* p) {
+      if (p->lo > p->hi) {
+        double t = p->lo;
+        p->lo = p->hi;
+        p->hi = t;
+      }
+    }
+    int main() {
+      struct Pair p;
+      p.lo = 9.0; p.hi = 2.0;
+      order(&p);
+      printf("%.1f %.1f\\n", p.lo, p.hi);
+      return 0;
+    }
+    """,
+    "nested_accumulate": """
+    int main() {
+      double m[6][6];
+      for (int i = 0; i < 6; i++) {
+        for (int j = 0; j < 6; j++) { m[i][j] = i * 6 + j; }
+      }
+      double trace = 0.0;
+      double total = 0.0;
+      for (int i = 0; i < 6; i++) {
+        trace = trace + m[i][i];
+        for (int j = 0; j < 6; j++) { total = total + m[i][j]; }
+      }
+      printf("%.0f %.0f\\n", trace, total);
+      return 0;
+    }
+    """,
+    "pointer_walk": """
+    int main() {
+      double a[10];
+      for (int i = 0; i < 10; i++) { a[i] = i + 1.0; }
+      double* p = a;
+      double prod = 1.0;
+      while (p < a + 5) {
+        prod = prod * *p;
+        p++;
+      }
+      printf("%.0f\\n", prod);
+      return 0;
+    }
+    """,
+    "alias_through_args": """
+    void acc(double* dst, double* src, int n) {
+      for (int i = 0; i < n; i++) { dst[i] = dst[i] + src[i]; }
+    }
+    int main() {
+      double a[12];
+      for (int i = 0; i < 12; i++) { a[i] = i; }
+      acc(a, a, 12);      // dst == src: the compiler must stay honest
+      acc(a + 6, a, 6);   // disjoint halves
+      double s = 0.0;
+      for (int i = 0; i < 12; i++) { s = s + a[i]; }
+      printf("%.1f\\n", s);
+      return 0;
+    }
+    """,
+    "memarg_reuse": """
+    double helper(double* x) {
+      x[0] = x[0] * 2.0;
+      return x[0] + x[1];
+    }
+    int main() {
+      double buf[3];
+      buf[0] = 1.5; buf[1] = 2.5; buf[2] = 0.0;
+      buf[2] = helper(buf) + helper(buf + 1);
+      printf("%.2f %.2f %.2f\\n", buf[0], buf[1], buf[2]);
+      return 0;
+    }
+    """,
+    "integer_mix": """
+    int main() {
+      int acc = 0;
+      for (int i = 1; i <= 30; i++) {
+        if (i % 2 == 0) { acc += i * i; }
+        else { acc -= i; }
+        acc = acc ^ (i << 2);
+      }
+      printf("%d\\n", acc);
+      return 0;
+    }
+    """,
+    "omp_private_buffers": """
+    int main() {
+      double out[40];
+      double w = 0.25;
+      #pragma omp parallel for
+      for (int i = 0; i < 40; i++) {
+        double t = i * w;
+        out[i] = t * t + 1.0;
+      }
+      double s = 0.0;
+      for (int i = 0; i < 40; i++) { s = s + out[i]; }
+      printf("%.4f\\n", s);
+      return 0;
+    }
+    """,
+}
+
+
+@pytest.mark.parametrize("name", sorted(CORPUS))
+def test_corpus_differential(name):
+    differential(CORPUS[name])
+
+
+# -- random program family ---------------------------------------------------
+
+_ops = ["+", "-", "*"]
+
+
+@st.composite
+def straightline_program(draw):
+    """A random program over two arrays with guarded mixed accesses."""
+    n = draw(st.integers(6, 14))
+    stmts = []
+    for k in range(draw(st.integers(2, 6))):
+        dst = draw(st.sampled_from(["a", "b"]))
+        src = draw(st.sampled_from(["a", "b"]))
+        i1 = draw(st.integers(0, n - 1))
+        i2 = draw(st.integers(0, n - 1))
+        op = draw(st.sampled_from(_ops))
+        const = draw(st.integers(-3, 3))
+        stmts.append(
+            f"{dst}[{i1}] = {src}[{i2}] {op} {const}.0;")
+    loop_src = draw(st.sampled_from(["a", "b"]))
+    body = "\n          ".join(stmts)
+    return f"""
+    int main() {{
+      double a[{n}]; double b[{n}];
+      for (int i = 0; i < {n}; i++) {{ a[i] = i * 0.5; b[i] = {n} - i; }}
+      {body}
+      double s = 0.0;
+      for (int i = 0; i < {n}; i++) {{
+        s = s + a[i] * 3.0 - b[i];
+        b[i] = {loop_src}[i] + s * 0.125;
+      }}
+      printf("%.6f %.6f\\n", s, b[{n - 1}]);
+      return 0;
+    }}
+    """
+
+
+@settings(max_examples=25, deadline=None)
+@given(straightline_program())
+def test_random_programs_differential(src):
+    differential(src)
