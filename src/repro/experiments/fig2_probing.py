@@ -105,7 +105,20 @@ class Fig2Row:
                 f"{self.frequency_tests / max(1, self.chunked_tests):.2f}x"]
 
 
-def run_fig2(n: int = 256) -> List[Fig2Row]:
+def _probe_layout(item) -> Fig2Row:
+    """One Fig. 2 row: both strategies against one dangerous layout.
+    Module level so the parallel sweep can ship it to worker processes."""
+    name, n, dangerous = item
+    oc = SyntheticOracle(n, set(dangerous))
+    found_c = probe_chunked(oc)
+    assert found_c == set(dangerous), (name, found_c)
+    of = SyntheticOracle(n, set(dangerous))
+    found_f = probe_frequency(of)
+    assert found_f == set(dangerous), (name, found_f)
+    return Fig2Row(name, n, len(dangerous), oc.tests, of.tests)
+
+
+def run_fig2(n: int = 256, jobs: int = 1) -> List[Fig2Row]:
     layouts = {
         "clustered (8 adjacent)": {n // 2 + i for i in range(8)},
         "two clusters (2 x 4)": {n // 6 + i for i in range(4)}
@@ -114,16 +127,13 @@ def run_fig2(n: int = 256) -> List[Fig2Row]:
         "single": {n // 2 + 9},
         "none": set(),
     }
-    rows: List[Fig2Row] = []
-    for name, dangerous in layouts.items():
-        oc = SyntheticOracle(n, dangerous)
-        found_c = probe_chunked(oc)
-        assert found_c == dangerous, (name, found_c)
-        of = SyntheticOracle(n, dangerous)
-        found_f = probe_frequency(of)
-        assert found_f == dangerous, (name, found_f)
-        rows.append(Fig2Row(name, n, len(dangerous), oc.tests, of.tests))
-    return rows
+    items = [(name, n, frozenset(dangerous))
+             for name, dangerous in layouts.items()]
+    if jobs > 1:
+        from concurrent.futures import ProcessPoolExecutor
+        with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as ex:
+            return list(ex.map(_probe_layout, items))
+    return [_probe_layout(item) for item in items]
 
 
 HEADERS = ["dangerous layout", "#queries", "#dangerous",

@@ -42,9 +42,21 @@ HEADERS = ["Benchmark", "Model", "Source Files",
 
 
 def run_fig4(rows: Optional[List[str]] = None,
-             strategy: str = "chunked") -> List[Fig4Row]:
+             strategy: str = "chunked",
+             jobs: int = 1,
+             cache_dir: Optional[str] = None) -> List[Fig4Row]:
+    names = list(rows or row_names())
+    if jobs > 1 or cache_dir:
+        # the parallel engine probes all configurations concurrently and
+        # shares the persistent verdict cache across them
+        from ..oraql.parallel import ParallelProbingDriver
+        reports = ParallelProbingDriver(
+            [get_config(n) for n in names], jobs=jobs, strategy=strategy,
+            cache_dir=cache_dir).run()
+        return [Fig4Row(get_info(n), rep)
+                for n, rep in zip(names, reports)]
     out: List[Fig4Row] = []
-    for name in (rows or row_names()):
+    for name in names:
         cfg = get_config(name)
         report = ProbingDriver(cfg, strategy=strategy).run()
         out.append(Fig4Row(get_info(name), report))

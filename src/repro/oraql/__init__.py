@@ -2,10 +2,17 @@
 driver, and verification script (plus the compiler wrapper they drive).
 """
 
+from .cache import CACHE_SCHEMA_VERSION, VerdictCache, config_fingerprint
 from .compiler import CompiledProgram, Compiler
 from .config import BenchmarkConfig, SourceFile
-from .driver import ProbingDriver, ProbingReport, TestOutcome
+from .driver import (
+    ProbingDriver,
+    ProbingReport,
+    TestBudgetExhausted,
+    TestOutcome,
+)
 from .override import ChainValueReport, OraqlOverridePass, measure_chain_value
+from .parallel import ParallelProbingDriver, SpeculativeProbingDriver
 from .pass_ import DumpFlags, OraqlAAPass, QueryRecord
 from .report import render_pessimistic_dump, render_query, render_report
 from .sequence import (

@@ -1,0 +1,122 @@
+"""Persistent verdict cache (paper §IV-B, "every candidate executable
+is hashed ... reuses the recorded test verdict").
+
+The in-driver executable-hash cache dies with the process, which makes
+re-probing after a restart pay the full test bill again.  This module
+stores verdicts durably on disk so they are shared across benchmark
+configurations, probing strategies, driver restarts, and worker
+processes of the parallel engine.
+
+Key scheme
+----------
+A verdict is keyed by ``<config fingerprint>:<exe hash>``:
+
+* the **config fingerprint** hashes the serialized
+  :class:`~repro.oraql.config.BenchmarkConfig` together with a cache
+  schema version, so verdicts can never leak between benchmarks whose
+  sources, flags, or run setup differ, nor across incompatible cache
+  layouts;
+* the **exe hash** is the compiler's deterministic content hash of the
+  produced executable (same config + same sequence ⇒ same hash, the
+  invariant ``tests/test_oraql_parallel.py`` pins down).
+
+Storage is append-only JSON-lines: one ``{"v": ..., "key": ...,
+"ok": ...}`` record per line.  Appends of a single short line are
+atomic enough for concurrent writers on POSIX (each worker of the
+parallel engine opens the file in append mode and writes one line per
+verdict); torn or foreign lines are skipped on load.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, Optional
+
+from .config import BenchmarkConfig
+
+#: bump when the key scheme or record layout changes; old records are
+#: ignored rather than misinterpreted
+CACHE_SCHEMA_VERSION = 1
+
+#: default file name inside ``--cache-dir``
+CACHE_FILENAME = "verdicts.jsonl"
+
+
+def config_fingerprint(config: BenchmarkConfig) -> str:
+    """Stable digest identifying one benchmark configuration.
+
+    Hashes the full JSON serialization (sources, flags, argv, probe
+    scope, references, ...) plus the cache schema version: any change
+    that could alter compilation or verification changes the key space.
+    """
+    h = hashlib.sha256()
+    h.update(f"oraql-verdict-cache-v{CACHE_SCHEMA_VERSION}\n".encode())
+    h.update(config.to_json().encode())
+    return h.hexdigest()[:16]
+
+
+class VerdictCache:
+    """On-disk test-verdict store shared across configs and restarts."""
+
+    def __init__(self, cache_dir: str, filename: str = CACHE_FILENAME):
+        self.cache_dir = cache_dir
+        self.path = os.path.join(cache_dir, filename)
+        self._mem: Dict[str, bool] = {}
+        self.hits = 0
+        self.misses = 0
+        os.makedirs(cache_dir, exist_ok=True)
+        self._load()
+
+    # -- persistence -----------------------------------------------------
+    def _load(self) -> None:
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "r") as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except ValueError:
+                    continue  # torn concurrent write; skip
+                if not isinstance(rec, dict) \
+                        or rec.get("v") != CACHE_SCHEMA_VERSION:
+                    continue
+                key, ok = rec.get("key"), rec.get("ok")
+                if isinstance(key, str) and isinstance(ok, bool):
+                    self._mem[key] = ok
+
+    def refresh(self) -> None:
+        """Re-read records other processes appended since the load."""
+        self._load()
+
+    # -- the cache interface ---------------------------------------------
+    @staticmethod
+    def key(fingerprint: str, exe_hash: str) -> str:
+        return f"{fingerprint}:{exe_hash}"
+
+    def get(self, key: str) -> Optional[bool]:
+        verdict = self._mem.get(key)
+        if verdict is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return verdict
+
+    def put(self, key: str, ok: bool) -> None:
+        if self._mem.get(key) == ok:
+            return
+        self._mem[key] = ok
+        rec = json.dumps({"v": CACHE_SCHEMA_VERSION, "key": key, "ok": ok},
+                         separators=(",", ":"))
+        with open(self.path, "a") as f:
+            f.write(rec + "\n")
+
+    def __len__(self) -> int:
+        return len(self._mem)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._mem

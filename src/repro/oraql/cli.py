@@ -16,6 +16,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -40,11 +41,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dump-optimistic", action="store_true")
     p.add_argument("--dump-pessimistic", action="store_true")
     p.add_argument("--max-tests", type=int, default=10_000)
+    p.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                   help="worker processes for the parallel probing "
+                        "engine (1 = sequential driver)")
+    p.add_argument("--cache-dir", metavar="DIR",
+                   help="directory for the persistent verdict cache, "
+                        "shared across configs, strategies, and runs")
     return p
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1 (got {args.jobs})")
+    if args.cache_dir and os.path.exists(args.cache_dir) \
+            and not os.path.isdir(args.cache_dir):
+        parser.error(f"--cache-dir is not a directory: {args.cache_dir}")
 
     if args.list:
         from ..workloads.base import get_info, row_names
@@ -55,7 +68,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.fig:
-        return _run_fig(args.fig)
+        return _run_fig(args.fig, jobs=args.jobs, cache_dir=args.cache_dir)
 
     from .config import BenchmarkConfig
     from .driver import ProbingDriver
@@ -63,7 +76,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.workload:
         from ..workloads.base import get_config
-        cfg = BenchmarkConfig and get_config(args.workload)
+        cfg = get_config(args.workload)
     elif args.config:
         with open(args.config) as f:
             cfg = BenchmarkConfig.from_json(f.read())
@@ -72,22 +85,30 @@ def main(argv: Optional[List[str]] = None) -> int:
               "is required", file=sys.stderr)
         return 2
 
-    driver = ProbingDriver(cfg, strategy=args.strategy,
-                           max_tests=args.max_tests)
-    report = driver.run()
+    if args.jobs > 1 or args.cache_dir:
+        from .parallel import ParallelProbingDriver
+        reports = ParallelProbingDriver(
+            cfg, jobs=args.jobs, strategy=args.strategy,
+            max_tests=args.max_tests, cache_dir=args.cache_dir).run()
+        report = reports[0]
+    else:
+        driver = ProbingDriver(cfg, strategy=args.strategy,
+                               max_tests=args.max_tests)
+        report = driver.run()
     print(render_report(report))
     return 0
 
 
-def _run_fig(which: str) -> int:
+def _run_fig(which: str, jobs: int = 1,
+             cache_dir: Optional[str] = None) -> int:
     from .. import experiments as ex
 
     if which == "2":
-        print(ex.render_fig2(ex.run_fig2()))
+        print(ex.render_fig2(ex.run_fig2(jobs=jobs)))
     elif which == "3":
         print(ex.run_fig3())
     elif which == "4":
-        print(ex.render_fig4(ex.run_fig4()))
+        print(ex.render_fig4(ex.run_fig4(jobs=jobs, cache_dir=cache_dir)))
     elif which == "5":
         print(ex.render_fig5())
     elif which == "6":

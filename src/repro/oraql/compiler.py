@@ -102,14 +102,10 @@ class Compiler:
         for src in config.sources:
             modules.append(compile_source(src.text, src.name,
                                           options=self.frontend_options))
-        # 2. (manual LTO) link into one module; non-LTO builds still link
-        #    for execution, but before optimization only under --lto
-        main = modules[0]
-        for other in modules[1:]:
-            main.link(other)
-        verify_module(main)
 
-        # 3. ORAQL pass appended to the chain when probing
+        # 2. ORAQL pass appended to the chain when probing; one pass
+        #    instance is shared across translation units so the decision
+        #    sequence is consumed in deterministic source order
         oraql: Optional[OraqlAAPass] = None
         if oraql_enabled:
             oraql = OraqlAAPass(
@@ -126,15 +122,55 @@ class Compiler:
             override = OraqlOverridePass(DecisionSequence())
 
         chain = tuple(config.aa_chain) if config.aa_chain else DEFAULT_AA_CHAIN
-        ctx = CompilationContext(main, aa_chain=chain, oraql=oraql,
-                                 override=override,
-                                 debug_pass_executions=debug_pass_executions)
+        pipeline = build_pipeline(config.opt_level)
 
-        # 4. optimization pipeline
-        PassManager(ctx).run(build_pipeline(config.opt_level))
-        verify_module(main)
+        if config.lto or len(modules) == 1:
+            # 3a. manual LTO: link everything into one module *before*
+            #     optimization so interprocedural passes see the whole
+            #     program (§V-A-d)
+            main = modules[0]
+            for other in modules[1:]:
+                main.link(other)
+            verify_module(main)
+            ctx = CompilationContext(
+                main, aa_chain=chain, oraql=oraql, override=override,
+                debug_pass_executions=debug_pass_executions)
+            PassManager(ctx).run(pipeline)
+            verify_module(main)
+        else:
+            # 3b. non-LTO: optimize each translation unit in isolation
+            #     (no cross-TU inlining or analysis), then link the
+            #     optimized modules for execution
+            contexts: List[CompilationContext] = []
+            for module in modules:
+                verify_module(module)
+                mctx = CompilationContext(
+                    module, aa_chain=chain, oraql=oraql, override=override,
+                    debug_pass_executions=debug_pass_executions)
+                # a fresh pipeline per TU: passes may keep per-run state
+                PassManager(mctx).run(build_pipeline(config.opt_level))
+                verify_module(module)
+                contexts.append(mctx)
+            main = modules[0]
+            for other in modules[1:]:
+                main.link(other)
+            verify_module(main)
+            # fold the per-TU bookkeeping into the first context, which
+            # becomes the program's reporting context
+            ctx = contexts[0]
+            for other_ctx in contexts[1:]:
+                ctx.stats.merge(other_ctx.stats)
+                ctx.aa.no_alias_count += other_ctx.aa.no_alias_count
+                ctx.aa.must_alias_count += other_ctx.aa.must_alias_count
+                ctx.aa.total_queries += other_ctx.aa.total_queries
+                ctx.aa.no_alias_by_pass.update(other_ctx.aa.no_alias_by_pass)
+                ctx.aa.queries_by_issuer.update(
+                    other_ctx.aa.queries_by_issuer)
+                ctx.debug_log.extend(other_ctx.debug_log)
+            if oraql is not None:
+                oraql.attach(ctx)
 
-        # 5. codegen: host statistics + device kernels (Fig. 6 / Fig. 7)
+        # 4. codegen: host statistics + device kernels (Fig. 6 / Fig. 7)
         codegen = run_codegen(main, ctx.stats, target="host")
         kernels = compile_device_kernels(main, target="nvptx")
         for name, ki in kernels.items():

@@ -30,14 +30,21 @@ Workflow (Fig. 1):
 from __future__ import annotations
 
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Deque, Dict, List, Optional, Set, Tuple
 
+from .cache import VerdictCache, config_fingerprint
 from .compiler import CompiledProgram, Compiler
 from .config import BenchmarkConfig
 from .pass_ import DumpFlags, OraqlAAPass, QueryRecord
 from .sequence import DecisionSequence, sequence_from_pessimistic_set
 from .verify import RunResult, VerificationScript
+
+
+class TestBudgetExhausted(RuntimeError):
+    """Raised internally when ``max_tests`` is reached; the driver
+    converts it into a partial report flagged ``budget_exhausted``."""
 
 
 @dataclass
@@ -68,9 +75,20 @@ class ProbingReport:
     tests_run: int = 0
     tests_cached: int = 0
     tests_deduced: int = 0
+    tests_speculated: int = 0
+    #: persistent verdict-cache traffic (0/0 when no cache is attached)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: True when ``max_tests`` ran out: ``pessimistic_indices`` is the
+    #: best-known (possibly insufficient) set rather than a verified
+    #: locally-maximal one
+    budget_exhausted: bool = False
     # provenance
     unique_by_pass: Dict[str, int] = field(default_factory=dict)
     pessimistic_records: List[QueryRecord] = field(default_factory=list)
+    #: pre-rendered Fig. 3 dump, filled when the live records are
+    #: detached for cross-process transport
+    pessimistic_dump: Optional[str] = None
     final_program: Optional[CompiledProgram] = None
     baseline_program: Optional[CompiledProgram] = None
 
@@ -82,13 +100,30 @@ class ProbingReport:
             / self.no_alias_original
 
     def summary(self) -> str:
+        extra = ""
+        if self.cache_hits or self.cache_misses:
+            extra += f", {self.cache_hits} verdict-cache hits"
+        if self.budget_exhausted:
+            extra += ", BUDGET EXHAUSTED"
         return (
             f"{self.config_name}: opt {self.opt_unique}/{self.opt_cached} "
             f"pess {self.pess_unique}/{self.pess_cached} "
             f"no-alias {self.no_alias_original} -> {self.no_alias_oraql} "
             f"({self.no_alias_delta_percent:+.1f}%) "
             f"[{self.compiles} compiles, {self.tests_run} tests, "
-            f"{self.tests_cached} cached, {self.tests_deduced} deduced]")
+            f"{self.tests_cached} cached, {self.tests_deduced} deduced"
+            f"{extra}]")
+
+    def detach_for_transport(self) -> "ProbingReport":
+        """Drop live compiler objects so the report survives pickling
+        across process boundaries; the Fig. 3 dump is pre-rendered."""
+        from .report import render_pessimistic_dump
+        if self.pessimistic_records:
+            self.pessimistic_dump = render_pessimistic_dump(self)
+        self.pessimistic_records = []
+        self.final_program = None
+        self.baseline_program = None
+        return self
 
 
 class ProbingDriver:
@@ -102,7 +137,8 @@ class ProbingDriver:
     def __init__(self, config: BenchmarkConfig,
                  compiler: Optional[Compiler] = None,
                  strategy: str = "chunked",
-                 max_tests: int = 10_000):
+                 max_tests: int = 10_000,
+                 verdict_cache: Optional[VerdictCache] = None):
         if strategy not in ("chunked", "frequency"):
             raise ValueError(f"unknown strategy {strategy!r}")
         self.config = config
@@ -110,7 +146,13 @@ class ProbingDriver:
         self.strategy = strategy
         self.max_tests = max_tests
         self.verifier: Optional[VerificationScript] = None
+        self.verdict_cache = verdict_cache
+        self._fingerprint = (config_fingerprint(config)
+                             if verdict_cache is not None else "")
         self._hash_cache: Dict[str, bool] = {}
+        #: best-known pessimistic set, maintained by the strategies so a
+        #: budget-exhausted run can still report partial progress
+        self._best_pessimistic: Set[int] = set()
         self._report = ProbingReport(config.name, False, DecisionSequence(),
                                      [])
 
@@ -124,17 +166,45 @@ class ProbingDriver:
     def _test(self, sequence: DecisionSequence) -> TestOutcome:
         prog = self._compile(sequence)
         n = prog.oraql.unique_queries
-        cached = self._hash_cache.get(prog.exe_hash)
+        return self._verdict_for(prog.exe_hash, n,
+                                 lambda: self.verifier.check(prog.run()))
+
+    def _verdict_for(self, exe_hash: str, unique_queries: int,
+                     run_test) -> TestOutcome:
+        """Verdict lookup chain: in-memory hash cache, then the
+        persistent verdict cache, then actually running the tests
+        (charged against the budget and recorded in both caches)."""
+        cached = self._hash_cache.get(exe_hash)
         if cached is not None:
             self._report.tests_cached += 1
-            return TestOutcome(cached, n, prog.exe_hash, from_cache=True)
+            return TestOutcome(cached, unique_queries, exe_hash,
+                               from_cache=True)
+        key = None
+        if self.verdict_cache is not None:
+            key = VerdictCache.key(self._fingerprint, exe_hash)
+            verdict = self.verdict_cache.get(key)
+            if verdict is not None:
+                self._report.cache_hits += 1
+                self._report.tests_cached += 1
+                self._hash_cache[exe_hash] = verdict
+                return TestOutcome(verdict, unique_queries, exe_hash,
+                                   from_cache=True)
+            self._report.cache_misses += 1
         if self._report.tests_run >= self.max_tests:
-            raise RuntimeError("probing exceeded the test budget")
+            raise TestBudgetExhausted("probing exceeded the test budget")
         self._report.tests_run += 1
-        result = prog.run()
-        ok = self.verifier.check(result)
-        self._hash_cache[prog.exe_hash] = ok
-        return TestOutcome(ok, n, prog.exe_hash)
+        ok = run_test()
+        self._hash_cache[exe_hash] = ok
+        if key is not None:
+            self.verdict_cache.put(key, ok)
+        return TestOutcome(ok, unique_queries, exe_hash)
+
+    def _speculate(self, sequences: List[DecisionSequence]) -> None:
+        """Hint that these sequences are likely to be tested next.
+
+        The sequential driver ignores the hint; the parallel engine
+        overrides this to launch the compilations+tests in worker
+        processes ahead of need (speculative bisection)."""
 
     # -- main entry ----------------------------------------------------------
     def run(self) -> ProbingReport:
@@ -159,22 +229,28 @@ class ProbingDriver:
                 "baseline does not verify against the reference output")
 
         # 2. the fully optimistic attempt (empty sequence)
-        first = self._test(DecisionSequence())
-        if first.ok:
-            report.fully_optimistic = True
-            pess: Set[int] = set()
-        else:
-            # 3. bisection
-            if self.strategy == "chunked":
-                pess = self._probe_chunked(first.unique_queries)
+        pess: Set[int] = set()
+        try:
+            first = self._test(DecisionSequence())
+            if first.ok:
+                report.fully_optimistic = True
             else:
-                pess = self._probe_frequency(first.unique_queries)
+                # 3. bisection
+                if self.strategy == "chunked":
+                    pess = self._probe_chunked(first.unique_queries)
+                else:
+                    pess = self._probe_frequency(first.unique_queries)
+        except TestBudgetExhausted:
+            # budget-graceful degradation: keep everything learned so
+            # far instead of losing the whole run
+            report.budget_exhausted = True
+            pess = set(self._best_pessimistic)
 
         # 4. final compile with the discovered sequence, full bookkeeping
         final_seq = sequence_from_pessimistic_set(pess)
         final = self._compile(final_seq)
         final_run = final.run()
-        if not self.verifier.check(final_run):
+        if not self.verifier.check(final_run) and not report.budget_exhausted:
             raise RuntimeError(
                 "final sequence does not verify — non-deterministic "
                 "compilation or verification")
@@ -198,6 +274,8 @@ class ProbingDriver:
         only on the answers to queries 0..k-1."""
         decided: List[int] = []  # final bits for the prefix
         while True:
+            self._best_pessimistic = {i for i, b in enumerate(decided)
+                                      if b == 0}
             # everything after the prefix optimistic
             t = self._test(DecisionSequence(decided))
             if t.ok:
@@ -217,9 +295,11 @@ class ProbingDriver:
                 continue
 
             # g(k): prefix + k optimistic + pessimistic tail
+            def g_bits(k: int) -> List[int]:
+                return decided + [1] * k + [0] * (span - k + self.TAIL_PAD)
+
             def g(k: int) -> bool:
-                bits = decided + [1] * k + [0] * (span - k + self.TAIL_PAD)
-                return self._test(DecisionSequence(bits)).ok
+                return self._test(DecisionSequence(g_bits(k))).ok
 
             if g(span):
                 # the failure needed the optimistic tail beyond n; fix
@@ -231,6 +311,14 @@ class ProbingDriver:
             lo, hi = 0, span  # g(lo)=True (invariant), g(hi)=False
             while hi - lo > 1:
                 mid = (lo + hi) // 2
+                # both continuations of g(mid) are known in advance:
+                # ok ⇒ next probe is the midpoint of [mid, hi), not ok ⇒
+                # the midpoint of [lo, mid) — offer them for speculation
+                spec = [DecisionSequence(g_bits((nlo + nhi) // 2))
+                        for nlo, nhi in ((mid, hi), (lo, mid))
+                        if nhi - nlo > 1]
+                if spec:
+                    self._speculate(spec)
                 if g(mid):
                     lo = mid
                 else:
@@ -266,9 +354,10 @@ class ProbingDriver:
             bits = [1 if i in opt else 0 for i in range(length)]
             return self._test(DecisionSequence(bits))
 
-        work: List[Tuple[int, int]] = [(1, 0)]
+        work: Deque[Tuple[int, int]] = deque([(1, 0)])
         while work:
-            mod, res = work.pop(0)
+            mod, res = work.popleft()
+            self._best_pessimistic = set(dangerous)
             idxs = [i for i in indices_of(mod, res, n_est)
                     if i not in accepted and i not in dangerous]
             if not idxs:
@@ -286,9 +375,14 @@ class ProbingDriver:
 
         # closing sweep: some indices past the original estimate may
         # remain; try them optimistically as one block
+        self._best_pessimistic = set(dangerous)
         t = self._test(sequence_from_pessimistic_set(
             dangerous, max(n_est, max(dangerous) + 1 if dangerous else 0)))
         if not t.ok:
             # fall back to chunked refinement from what we learned
-            return self._probe_chunked(t.unique_queries) | dangerous
+            try:
+                return self._probe_chunked(t.unique_queries) | dangerous
+            except TestBudgetExhausted:
+                self._best_pessimistic |= dangerous
+                raise
         return dangerous

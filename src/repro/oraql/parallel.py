@@ -1,0 +1,191 @@
+"""The parallel probing engine.
+
+ORAQL's probing loop is embarrassingly parallel in two dimensions and
+this module exploits both:
+
+* **across benchmark configurations** — every Fig. 4 row is an
+  independent compile-and-test search, so :class:`ParallelProbingDriver`
+  fans whole configurations out to a
+  :class:`~concurrent.futures.ProcessPoolExecutor`, one sequential
+  :class:`~repro.oraql.driver.ProbingDriver` per worker;
+* **across speculative bisection branches** — inside the chunked
+  strategy's binary search both continuations of the pending probe
+  ``g(mid)`` are known in advance (the midpoint of ``[mid, hi)`` if it
+  passes, of ``[lo, mid)`` if it fails), so
+  :class:`SpeculativeProbingDriver` launches both in worker processes
+  while the driver waits for ``g(mid)``, then cancels or abandons the
+  branch that lost the race.
+
+Both dimensions share the persistent
+:class:`~repro.oraql.cache.VerdictCache` (``--cache-dir``): verdicts
+recorded by any worker are reusable by every later driver, including
+across process restarts.
+
+Determinism contract: compilation is a pure function of (config,
+sequence) — same inputs produce the same ``exe_hash`` in any process —
+so speculation and fan-out change only *when* a verdict is computed,
+never *what* it is.  Parallel runs therefore report bit-identical
+``pessimistic_indices`` to the sequential driver.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from .cache import VerdictCache
+from .compiler import Compiler
+from .config import BenchmarkConfig
+from .driver import ProbingDriver, ProbingReport, TestOutcome
+from .sequence import DecisionSequence
+from .verify import VerificationScript
+
+
+# -- worker-side entry points (module level so they pickle) ---------------
+
+def _compile_and_test(config_json: str, bits: List[int],
+                      verifier: VerificationScript
+                      ) -> Tuple[str, int, bool]:
+    """One speculative probe: compile the config with the given decision
+    bits, run it, verify.  Runs in a worker process; returns everything
+    the driver needs to book the outcome."""
+    cfg = BenchmarkConfig.from_json(config_json)
+    prog = Compiler().compile(cfg, sequence=DecisionSequence(bits),
+                              oraql_enabled=True)
+    ok = verifier.check(prog.run())
+    return prog.exe_hash, prog.oraql.unique_queries, ok
+
+
+def _probe_config(config_json: str, strategy: str, max_tests: int,
+                  cache_dir: Optional[str]) -> ProbingReport:
+    """Probe one whole configuration in a worker process."""
+    cfg = BenchmarkConfig.from_json(config_json)
+    cache = VerdictCache(cache_dir) if cache_dir else None
+    report = ProbingDriver(cfg, strategy=strategy, max_tests=max_tests,
+                           verdict_cache=cache).run()
+    # live IR/program objects do not survive (or justify) pickling back
+    return report.detach_for_transport()
+
+
+class SpeculativeProbingDriver(ProbingDriver):
+    """Chunked probing with speculative binary-search branches.
+
+    Overrides the sequential driver's ``_speculate`` hint to submit both
+    continuations to the executor, and ``_test`` to consume a finished
+    speculation instead of compiling in-process.  The probing *logic* is
+    untouched, so results are bit-identical to the sequential driver."""
+
+    def __init__(self, config: BenchmarkConfig,
+                 executor: ProcessPoolExecutor, **kwargs):
+        super().__init__(config, **kwargs)
+        self._executor = executor
+        self._spec: Dict[Tuple[int, ...], Future] = {}
+        self._config_json = config.to_json()
+
+    def _speculate(self, sequences: List[DecisionSequence]) -> None:
+        # whatever is still pending from the previous round lost its
+        # race: cancel it if it has not started, abandon it otherwise
+        for key, fut in list(self._spec.items()):
+            fut.cancel()
+            del self._spec[key]
+        if self.verifier is None:
+            return
+        for seq in sequences:
+            key = tuple(seq.bits)
+            if key in self._spec:
+                continue
+            self._spec[key] = self._executor.submit(
+                _compile_and_test, self._config_json, list(seq.bits),
+                self.verifier)
+            self._report.tests_speculated += 1
+
+    def _test(self, sequence: DecisionSequence) -> TestOutcome:
+        fut = self._spec.pop(tuple(sequence.bits), None)
+        if fut is not None and not fut.cancelled():
+            try:
+                exe_hash, n, ok = fut.result()
+            except Exception:
+                # a lost worker only costs the speculation; recompute
+                return super()._test(sequence)
+            self._report.compiles += 1
+            return self._verdict_for(exe_hash, n, lambda: ok)
+        return super()._test(sequence)
+
+    def run(self) -> ProbingReport:
+        try:
+            return super().run()
+        finally:
+            for fut in self._spec.values():
+                fut.cancel()
+            self._spec.clear()
+
+
+class ParallelProbingDriver:
+    """Probes one or many configurations with ``jobs`` worker processes.
+
+    Given several configurations, each is probed by a sequential driver
+    in its own worker (the across-configs dimension).  Given a single
+    configuration with the chunked strategy, the speculative driver
+    runs in-process and uses the workers for look-ahead probes (the
+    across-branches dimension).  Either way every worker shares the
+    persistent verdict cache under ``cache_dir`` when one is given.
+    """
+
+    def __init__(self,
+                 configs: Union[BenchmarkConfig, Sequence[BenchmarkConfig]],
+                 jobs: Optional[int] = None,
+                 strategy: str = "chunked",
+                 max_tests: int = 10_000,
+                 cache_dir: Optional[str] = None,
+                 speculate: bool = True):
+        if isinstance(configs, BenchmarkConfig):
+            configs = [configs]
+        self.configs = list(configs)
+        if not self.configs:
+            raise ValueError("no configurations to probe")
+        self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.strategy = strategy
+        self.max_tests = max_tests
+        self.cache_dir = cache_dir
+        self.speculate = speculate
+
+    def _cache(self) -> Optional[VerdictCache]:
+        return VerdictCache(self.cache_dir) if self.cache_dir else None
+
+    def run(self) -> List[ProbingReport]:
+        """Probe every configuration; reports come back in input order."""
+        if len(self.configs) == 1:
+            return [self._run_single(self.configs[0])]
+        return self._run_fanout()
+
+    # -- one config: speculative bisection ---------------------------------
+    def _run_single(self, config: BenchmarkConfig) -> ProbingReport:
+        if self.jobs <= 1 or self.strategy != "chunked" \
+                or not self.speculate:
+            return ProbingDriver(config, strategy=self.strategy,
+                                 max_tests=self.max_tests,
+                                 verdict_cache=self._cache()).run()
+        with ProcessPoolExecutor(max_workers=self.jobs) as executor:
+            driver = SpeculativeProbingDriver(
+                config, executor, strategy=self.strategy,
+                max_tests=self.max_tests, verdict_cache=self._cache())
+            return driver.run()
+
+    # -- many configs: one worker per configuration -------------------------
+    def _run_fanout(self) -> List[ProbingReport]:
+        jobs = min(self.jobs, len(self.configs))
+        if jobs <= 1:
+            cache = self._cache()
+            return [ProbingDriver(cfg, strategy=self.strategy,
+                                  max_tests=self.max_tests,
+                                  verdict_cache=cache).run()
+                    for cfg in self.configs]
+        with ProcessPoolExecutor(max_workers=jobs) as executor:
+            futures = [executor.submit(_probe_config, cfg.to_json(),
+                                       self.strategy, self.max_tests,
+                                       self.cache_dir)
+                       for cfg in self.configs]
+            return [f.result() for f in futures]

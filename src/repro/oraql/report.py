@@ -19,6 +19,10 @@ def render_query(rec: QueryRecord) -> str:
 def render_pessimistic_dump(report: ProbingReport) -> str:
     """Fig. 3-style dump of every pessimistically answered unique query,
     preceded by the pass that issued it."""
+    if not report.pessimistic_records and report.pessimistic_dump is not None:
+        # records were detached for cross-process transport; the dump
+        # was pre-rendered in the worker
+        return report.pessimistic_dump
     lines: List[str] = []
     for rec in report.pessimistic_records:
         lines.append(f"Executing Pass '{rec.issuing_pass}' on Function "
@@ -42,16 +46,25 @@ def render_report(report: ProbingReport) -> str:
     out.append(f"no-alias responses : {r.no_alias_original} original -> "
                f"{r.no_alias_oraql} ORAQL "
                f"({r.no_alias_delta_percent:+.1f}%)")
+    if r.budget_exhausted:
+        out.append("BUDGET EXHAUSTED: partial result — the pessimistic set "
+                   "below is the best known, not verified locally-maximal")
     out.append(f"probing effort     : {r.compiles} compiles, "
                f"{r.tests_run} tests run, {r.tests_cached} served from the "
                f"executable-hash cache, {r.tests_deduced} deduced")
+    if r.cache_hits or r.cache_misses:
+        out.append(f"verdict cache      : {r.cache_hits} hits, "
+                   f"{r.cache_misses} misses")
+    if r.tests_speculated:
+        out.append(f"speculation        : {r.tests_speculated} probes "
+                   f"launched ahead of need")
     if r.unique_by_pass:
         out.append("unique queries by issuing pass:")
         total = sum(r.unique_by_pass.values())
         for name, n in sorted(r.unique_by_pass.items(),
                               key=lambda kv: -kv[1]):
             out.append(f"  {name:<28} {n:>6} ({100.0 * n / total:.1f}%)")
-    if r.pessimistic_records:
+    if r.pessimistic_records or r.pessimistic_dump:
         out.append("")
         out.append("pessimistic queries (true aliases):")
         out.append(render_pessimistic_dump(report))

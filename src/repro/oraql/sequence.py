@@ -27,6 +27,10 @@ class DecisionSequence:
     def __init__(self, bits: Sequence[int] = ()):
         self.bits: List[int] = [1 if b else 0 for b in bits]
         self.consumed = 0
+        #: response files spilled by :meth:`to_argument`; owned by this
+        #: sequence and deleted by :meth:`cleanup` (or the context
+        #: manager / finalizer)
+        self._response_files: List[str] = []
 
     # -- pass-side ----------------------------------------------------------
     def next(self) -> bool:
@@ -66,7 +70,12 @@ class DecisionSequence:
     def to_argument(self, workdir: Optional[str] = None,
                     arg_max: int = ARG_MAX) -> str:
         """Render as ``-opt-aa-seq=...``, spilling to ``@file`` when the
-        rendered argument would exceed the command-line limit."""
+        rendered argument would exceed the command-line limit.
+
+        Spilled response files belong to this sequence: they live until
+        :meth:`cleanup` runs (directly, via the context-manager exit, or
+        via the finalizer), so a long bisection no longer leaks one temp
+        file per compile."""
         text = self.to_text()
         arg = f"-opt-aa-seq={text}"
         if len(arg) <= arg_max:
@@ -75,7 +84,29 @@ class DecisionSequence:
                                     dir=workdir)
         with os.fdopen(fd, "w") as f:
             f.write(text)
+        self._response_files.append(path)
         return f"-opt-aa-seq=@{path}"
+
+    def cleanup(self) -> None:
+        """Delete every response file this sequence spilled."""
+        for path in self._response_files:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        self._response_files.clear()
+
+    def __enter__(self) -> "DecisionSequence":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.cleanup()
+
+    def __del__(self):  # best-effort; cleanup() is the reliable path
+        try:
+            self.cleanup()
+        except Exception:
+            pass
 
     @staticmethod
     def from_argument(arg: str) -> "DecisionSequence":

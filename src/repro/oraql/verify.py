@@ -8,6 +8,7 @@ A trapped, deadlocked, or non-terminating run always fails.
 
 from __future__ import annotations
 
+import difflib
 import re
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
@@ -55,11 +56,21 @@ class VerificationScript:
             return False
         return self.check_output(result.stdout)
 
+    def closest_reference(self, normalized: str) -> str:
+        """The reference most similar to the (already normalized)
+        output — the one a multi-reference mismatch report should be
+        explained against."""
+        if len(self.references) == 1:
+            return self.references[0]
+        return max(self.references,
+                   key=lambda ref: difflib.SequenceMatcher(
+                       None, normalized, ref).ratio())
+
     def explain(self, result: RunResult) -> str:
         if not result.ok:
             return f"run failed: {result.state} ({result.error})"
         n = self.normalize(result.stdout)
-        best = self.references[0]
+        best = self.closest_reference(n)
         for i, (x, y) in enumerate(zip(n, best)):
             if x != y:
                 lo = max(0, i - 40)
