@@ -56,6 +56,24 @@ class AliasAnalysisPass:
 
     name: str = "aa"
 
+    #: True when the constructor takes the module (e.g. GlobalsAA).  The
+    #: context dispatches on this explicitly instead of the old
+    #: ``try: cls(module) except TypeError: cls()`` probe, which
+    #: swallowed genuine TypeErrors raised *inside* a constructor.
+    requires_module: bool = False
+
+    #: Granularity of any cached state, driving fine-grained
+    #: invalidation:
+    #:
+    #: * ``"none"`` — stateless, never needs invalidation;
+    #: * ``"function"`` — per-function summaries: implement
+    #:   ``invalidate_function(fn)`` (and ``invalidate()`` for module-
+    #:   scope changes);
+    #: * ``"module"`` — whole-module state: implement ``invalidate()``,
+    #:   called on module-scope changes (and on every change under
+    #:   coarse invalidation).
+    invalidation_scope: str = "none"
+
     def alias(self, a: MemoryLocation, b: MemoryLocation,
               fn: Optional[Function]) -> AliasResult:
         raise NotImplementedError

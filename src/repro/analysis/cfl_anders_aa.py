@@ -165,12 +165,18 @@ class _AndersSummary:
 
 class CFLAndersAA(AliasAnalysisPass):
     name = "cfl-anders-aa"
+    invalidation_scope = "function"
 
     def __init__(self):
         self._summaries: Dict[int, _AndersSummary] = {}
 
     def invalidate(self) -> None:
         self._summaries.clear()
+
+    def invalidate_function(self, fn: Function) -> None:
+        """Summaries are built from one function's IR alone, so a
+        function-local change only stales that function's entry."""
+        self._summaries.pop(fn.id, None)
 
     def _summary(self, fn: Function) -> _AndersSummary:
         s = self._summaries.get(fn.id)

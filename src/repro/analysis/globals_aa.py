@@ -58,6 +58,8 @@ class GlobalsAA(AliasAnalysisPass):
     """Caches the address-taken verdict per global for the module run."""
 
     name = "globals-aa"
+    requires_module = True
+    invalidation_scope = "module"
 
     def __init__(self, module: Optional[Module] = None):
         self.module = module

@@ -32,7 +32,13 @@ def _check(cond: bool, msg: str) -> None:
         raise VerificationError(msg)
 
 
-def verify_function(fn: Function) -> None:
+def verify_function(fn: Function, dt=None) -> None:
+    """Check ``fn``'s structural and SSA invariants.
+
+    ``dt`` may supply an up-to-date DominatorTree (e.g. the pass
+    manager's cached analysis) to avoid a throwaway rebuild; when None,
+    one is constructed locally.
+    """
     from ..analysis.dominators import DominatorTree
 
     _check(bool(fn.blocks), f"@{fn.name}: function has no blocks")
@@ -85,7 +91,8 @@ def verify_function(fn: Function) -> None:
                    f"!= predecessors {sorted(actual)}")
 
     # SSA dominance: every use is dominated by its def
-    dt = DominatorTree(fn)
+    if dt is None:
+        dt = DominatorTree(fn)
     position = {}
     for bb in fn.blocks:
         for i, inst in enumerate(bb.instructions):

@@ -41,6 +41,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dump-optimistic", action="store_true")
     p.add_argument("--dump-pessimistic", action="store_true")
     p.add_argument("--max-tests", type=int, default=10_000)
+    p.add_argument("--verify-analyses", action="store_true",
+                   help="recompute DominatorTree/LoopInfo after every "
+                        "pass that claims to preserve them and abort on "
+                        "a mismatch (catches passes lying about "
+                        "preservation; slow)")
+    p.add_argument("--invalidation", choices=["fine", "coarse"],
+                   default="fine",
+                   help="analysis invalidation mode: 'fine' keeps "
+                        "preserved analyses alive across passes, "
+                        "'coarse' replicates the legacy invalidate-"
+                        "everything behavior (for differential runs)")
     p.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
                    help="worker processes for the parallel probing "
                         "engine (1 = sequential driver)")
@@ -85,6 +96,9 @@ def main(argv: Optional[List[str]] = None) -> int:
               "is required", file=sys.stderr)
         return 2
 
+    from .compiler import Compiler
+    compiler = Compiler(verify_analyses=args.verify_analyses,
+                        invalidation=args.invalidation)
     if args.jobs > 1 or args.cache_dir:
         from .parallel import ParallelProbingDriver
         reports = ParallelProbingDriver(
@@ -92,7 +106,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             max_tests=args.max_tests, cache_dir=args.cache_dir).run()
         report = reports[0]
     else:
-        driver = ProbingDriver(cfg, strategy=args.strategy,
+        driver = ProbingDriver(cfg, compiler=compiler,
+                               strategy=args.strategy,
                                max_tests=args.max_tests)
         report = driver.run()
     print(render_report(report))

@@ -83,12 +83,26 @@ class CompiledProgram:
     def no_alias_count(self) -> int:
         return self.ctx.aa.no_alias_count
 
+    @property
+    def analysis_counters(self) -> Dict[str, Dict[str, int]]:
+        """AnalysisManager bookkeeping: builds / cache hits / rebuilds
+        avoided by fine-grained invalidation, per analysis name."""
+        return self.ctx.am.counters()
+
 
 class Compiler:
-    """Deterministic compiler: same config + same sequence ⇒ same hash."""
+    """Deterministic compiler: same config + same sequence ⇒ same hash.
 
-    def __init__(self, frontend_options: Optional[FrontendOptions] = None):
+    ``verify_analyses`` and ``invalidation`` set per-instance defaults
+    for every ``compile`` call (the CLI's ``--verify-analyses`` plumbs
+    through here so the probing drivers inherit it)."""
+
+    def __init__(self, frontend_options: Optional[FrontendOptions] = None,
+                 verify_analyses: bool = False,
+                 invalidation: str = "fine"):
         self.frontend_options = frontend_options or FrontendOptions()
+        self.verify_analyses = verify_analyses
+        self.invalidation = invalidation
 
     def compile(self, config: BenchmarkConfig,
                 sequence: Optional[DecisionSequence] = None,
@@ -96,7 +110,13 @@ class Compiler:
                 dump: Optional[DumpFlags] = None,
                 debug_pass_executions: bool = False,
                 suppress_chain: bool = False,
-                override=None) -> CompiledProgram:
+                override=None,
+                verify_analyses: Optional[bool] = None,
+                invalidation: Optional[str] = None) -> CompiledProgram:
+        if verify_analyses is None:
+            verify_analyses = self.verify_analyses
+        if invalidation is None:
+            invalidation = self.invalidation
         # 1. frontend: one module per translation unit
         modules: List[Module] = []
         for src in config.sources:
@@ -134,7 +154,8 @@ class Compiler:
             verify_module(main)
             ctx = CompilationContext(
                 main, aa_chain=chain, oraql=oraql, override=override,
-                debug_pass_executions=debug_pass_executions)
+                debug_pass_executions=debug_pass_executions,
+                verify_analyses=verify_analyses, invalidation=invalidation)
             PassManager(ctx).run(pipeline)
             verify_module(main)
         else:
@@ -146,7 +167,9 @@ class Compiler:
                 verify_module(module)
                 mctx = CompilationContext(
                     module, aa_chain=chain, oraql=oraql, override=override,
-                    debug_pass_executions=debug_pass_executions)
+                    debug_pass_executions=debug_pass_executions,
+                    verify_analyses=verify_analyses,
+                    invalidation=invalidation)
                 # a fresh pipeline per TU: passes may keep per-run state
                 PassManager(mctx).run(build_pipeline(config.opt_level))
                 verify_module(module)
@@ -166,6 +189,7 @@ class Compiler:
                 ctx.aa.no_alias_by_pass.update(other_ctx.aa.no_alias_by_pass)
                 ctx.aa.queries_by_issuer.update(
                     other_ctx.aa.queries_by_issuer)
+                ctx.am.merge_counters(other_ctx.am)
                 ctx.debug_log.extend(other_ctx.debug_log)
             if oraql is not None:
                 oraql.attach(ctx)

@@ -83,6 +83,12 @@ class ProbingReport:
     #: best-known (possibly insufficient) set rather than a verified
     #: locally-maximal one
     budget_exhausted: bool = False
+    #: AnalysisManager bookkeeping summed over every in-process compile:
+    #: analysis name -> number of from-scratch constructions, and the
+    #: rebuilds fine-grained invalidation avoided (cache hits on results
+    #: that survived an invalidation event)
+    analysis_builds: Dict[str, int] = field(default_factory=dict)
+    analysis_preserved_hits: Dict[str, int] = field(default_factory=dict)
     # provenance
     unique_by_pass: Dict[str, int] = field(default_factory=dict)
     pessimistic_records: List[QueryRecord] = field(default_factory=list)
@@ -160,8 +166,16 @@ class ProbingDriver:
     def _compile(self, sequence: Optional[DecisionSequence],
                  oraql_enabled: bool = True) -> CompiledProgram:
         self._report.compiles += 1
-        return self.compiler.compile(self.config, sequence=sequence,
+        prog = self.compiler.compile(self.config, sequence=sequence,
                                      oraql_enabled=oraql_enabled)
+        counters = prog.analysis_counters
+        for name, n in counters["builds"].items():
+            self._report.analysis_builds[name] = \
+                self._report.analysis_builds.get(name, 0) + n
+        for name, n in counters["preserved_hits"].items():
+            self._report.analysis_preserved_hits[name] = \
+                self._report.analysis_preserved_hits.get(name, 0) + n
+        return prog
 
     def _test(self, sequence: DecisionSequence) -> TestOutcome:
         prog = self._compile(sequence)

@@ -58,6 +58,15 @@ def render_report(report: ProbingReport) -> str:
     if r.tests_speculated:
         out.append(f"speculation        : {r.tests_speculated} probes "
                    f"launched ahead of need")
+    if r.analysis_builds:
+        built = ", ".join(f"{name} {n}" for name, n in
+                          sorted(r.analysis_builds.items()))
+        out.append(f"analysis rebuilds  : {built}")
+        if r.analysis_preserved_hits:
+            avoided = ", ".join(f"{name} {n}" for name, n in
+                                sorted(r.analysis_preserved_hits.items()))
+            out.append(f"rebuilds avoided   : {avoided} "
+                       f"(preserved across invalidation)")
     if r.unique_by_pass:
         out.append("unique queries by issuing pass:")
         total = sum(r.unique_by_pass.values())

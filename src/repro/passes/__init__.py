@@ -1,5 +1,13 @@
 """repro.passes — transformation passes, pass manager, statistics."""
 
+from .analysis_manager import (
+    AnalysisManager,
+    AnalysisVerificationError,
+    DominatorTreeAnalysis,
+    LoopAnalysis,
+    MemorySSAAnalysis,
+    PreservedAnalyses,
+)
 from .dse import DSE
 from .early_cse import EarlyCSE
 from .gvn import GVN

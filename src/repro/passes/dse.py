@@ -21,6 +21,7 @@ from ..ir.instructions import (
     MemSetInst,
     StoreInst,
 )
+from .analysis_manager import PreservedAnalyses
 from .pass_manager import CompilationContext, Pass
 
 
@@ -48,7 +49,8 @@ class DSE(Pass):
     name = "dse"
     display_name = "Dead Store Elimination"
 
-    def run_on_function(self, fn: Function, ctx: CompilationContext) -> bool:
+    def run_on_function(self, fn: Function,
+                        ctx: CompilationContext) -> PreservedAnalyses:
         aa = ctx.aa
         changed = self._drop_stores_to_dead_locals(fn, ctx)
         for bb in fn.blocks:
@@ -79,7 +81,8 @@ class DSE(Pass):
                     # do not advance: insts[i] is now the next instruction
                 else:
                     i += 1
-        return changed
+        # only erases stores; the CFG is untouched
+        return PreservedAnalyses.from_changed(changed, preserves_cfg=True)
 
     def _drop_stores_to_dead_locals(self, fn: Function,
                                     ctx: CompilationContext) -> bool:

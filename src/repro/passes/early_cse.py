@@ -30,6 +30,7 @@ from ..ir.instructions import (
 )
 from ..ir.values import Value
 from ..ir.instructions import COMMUTATIVE_BINOPS
+from .analysis_manager import PreservedAnalyses
 from .pass_manager import CompilationContext, Pass
 
 
@@ -70,7 +71,8 @@ class EarlyCSE(Pass):
     name = "early-cse"
     display_name = "Early CSE"
 
-    def run_on_function(self, fn: Function, ctx: CompilationContext) -> bool:
+    def run_on_function(self, fn: Function,
+                        ctx: CompilationContext) -> PreservedAnalyses:
         self.ctx = ctx
         dt = ctx.analyses(fn).dt
         children: Dict[Optional[BasicBlock], List[BasicBlock]] = {}
@@ -97,7 +99,9 @@ class EarlyCSE(Pass):
             self._process_block(bb, exprs, loads, changed)
             for child in children.get(bb, []):
                 stack.append((child, exprs, loads))
-        return changed[0]
+        # only erases/replaces non-terminator instructions: the block
+        # graph — and with it DT/LI — survives
+        return PreservedAnalyses.from_changed(changed[0], preserves_cfg=True)
 
     def _process_block(self, bb: BasicBlock, exprs: Dict,
                        loads: List[Tuple[Value, MemoryLocation, Value]],

@@ -15,6 +15,7 @@ from ..analysis.memloc import MemoryLocation
 from ..analysis.memory_ssa import LiveOnEntry, MemoryAccess, MemoryDef, MemoryPhi
 from ..ir.function import Function
 from ..ir.instructions import LoadInst, StoreInst
+from .analysis_manager import PreservedAnalyses
 from .early_cse import _expr_key
 from .pass_manager import CompilationContext, Pass
 
@@ -23,11 +24,13 @@ class GVN(Pass):
     name = "gvn"
     display_name = "Global Value Numbering"
 
-    def run_on_function(self, fn: Function, ctx: CompilationContext) -> bool:
+    def run_on_function(self, fn: Function,
+                        ctx: CompilationContext) -> PreservedAnalyses:
         changed = False
         changed |= self._eliminate_loads(fn, ctx)
         changed |= self._number_expressions(fn, ctx)
-        return changed
+        # deletes loads / pure expressions, never branches or blocks
+        return PreservedAnalyses.from_changed(changed, preserves_cfg=True)
 
     # -- load elimination ------------------------------------------------
     def _eliminate_loads(self, fn: Function, ctx: CompilationContext) -> bool:

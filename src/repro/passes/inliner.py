@@ -29,6 +29,7 @@ from ..ir.instructions import (
 )
 from ..ir.metadata import AliasScope, ScopedAliasMD
 from ..ir.values import Argument, Value
+from .analysis_manager import PreservedAnalyses
 from .pass_manager import CompilationContext, Pass
 
 #: callee instruction budget; LLVM's threshold analog
@@ -55,7 +56,8 @@ class Inliner(Pass):
     name = "inline"
     display_name = "Function Integration/Inlining"
 
-    def run_on_function(self, fn: Function, ctx: CompilationContext) -> bool:
+    def run_on_function(self, fn: Function,
+                        ctx: CompilationContext) -> PreservedAnalyses:
         changed = False
         budget = 16  # sites per function per run
         again = True
@@ -73,7 +75,12 @@ class Inliner(Pass):
                     budget -= 1
                     changed = again = True
                     break
-        return changed
+        if changed:
+            # cloned instructions add users to globals: the inter-
+            # procedural (module-grained) AA caches must not survive
+            # even under fine invalidation
+            ctx.am.invalidate_interprocedural()
+        return PreservedAnalyses.from_changed(changed)
 
     # -- the transplant ----------------------------------------------------
     def _inline_site(self, caller: Function, bb: BasicBlock,

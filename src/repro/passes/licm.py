@@ -34,6 +34,7 @@ from ..ir.instructions import (
     StoreInst,
 )
 from ..ir.values import Value
+from .analysis_manager import PreservedAnalyses
 from .pass_manager import CompilationContext, Pass
 
 _SPECULATABLE_BINOPS = {"add", "sub", "mul", "and", "or", "xor", "shl",
@@ -52,13 +53,16 @@ class LICM(Pass):
     name = "licm"
     display_name = "Loop Invariant Code Motion"
 
-    def run_on_function(self, fn: Function, ctx: CompilationContext) -> bool:
+    def run_on_function(self, fn: Function,
+                        ctx: CompilationContext) -> PreservedAnalyses:
         li = ctx.analyses(fn).li
         changed = False
         # innermost first so invariants bubble outwards
         for loop in sorted(li.loops, key=lambda l: -l.depth):
             changed |= self._run_on_loop(fn, loop, ctx)
-        return changed
+        # scalar promotion edits phis across loop boundaries; play it
+        # safe and abandon everything when anything moved
+        return PreservedAnalyses.from_changed(changed)
 
     # -- per-loop --------------------------------------------------------
     def _run_on_loop(self, fn: Function, loop: Loop,

@@ -20,6 +20,7 @@ from ..ir.instructions import (
     PhiInst,
 )
 from ..ir.values import ConstantInt, UndefValue
+from .analysis_manager import PreservedAnalyses
 from .pass_manager import CompilationContext, Pass
 
 
@@ -72,7 +73,8 @@ class LoopDeletion(Pass):
     name = "loop-deletion"
     display_name = "Delete dead loops"
 
-    def run_on_function(self, fn: Function, ctx: CompilationContext) -> bool:
+    def run_on_function(self, fn: Function,
+                        ctx: CompilationContext) -> PreservedAnalyses:
         changed = False
         # repeat: deleting an inner loop can make the outer one dead
         while True:
@@ -81,11 +83,13 @@ class LoopDeletion(Pass):
             for loop in sorted(li.loops, key=lambda l: -l.depth):
                 if self._try_delete(fn, loop, ctx):
                     ctx.stats.add(self.display_name, "# deleted loops")
+                    # mid-run refresh: the next iteration needs LoopInfo
+                    # over the mutated CFG
                     ctx.invalidate(fn)
                     changed = deleted = True
                     break
             if not deleted:
-                return changed
+                return PreservedAnalyses.from_changed(changed)
 
     def _try_delete(self, fn: Function, loop: Loop,
                     ctx: CompilationContext) -> bool:

@@ -12,6 +12,7 @@ from ..analysis.aliasing import AliasResult, ModRefInfo
 from ..analysis.memloc import MemoryLocation
 from ..ir.function import Function
 from ..ir.instructions import CallInst, LoadInst, StoreInst
+from .analysis_manager import PreservedAnalyses
 from .pass_manager import CompilationContext, Pass
 
 
@@ -19,7 +20,8 @@ class LoopLoadElim(Pass):
     name = "loop-load-elim"
     display_name = "Loop Load Elimination"
 
-    def run_on_function(self, fn: Function, ctx: CompilationContext) -> bool:
+    def run_on_function(self, fn: Function,
+                        ctx: CompilationContext) -> PreservedAnalyses:
         li = ctx.analyses(fn).li
         aa = ctx.aa
         changed = False
@@ -51,4 +53,5 @@ class LoopLoadElim(Pass):
                     elif prev.may_write_memory():
                         if aa.get_mod_ref(prev, loc) & ModRefInfo.MOD:
                             break
-        return changed
+        # forwards/erases loads within blocks; the CFG is untouched
+        return PreservedAnalyses.from_changed(changed, preserves_cfg=True)

@@ -45,6 +45,7 @@ from ..ir.instructions import (
 )
 from ..ir.types import IntType, VectorType, I64, ptr
 from ..ir.values import ConstantFloat, ConstantInt, Value
+from .analysis_manager import PreservedAnalyses
 from .pass_manager import CompilationContext, Pass
 
 VF = 4
@@ -85,7 +86,8 @@ class LoopVectorize(Pass):
     name = "loop-vectorize"
     display_name = "Loop Vectorizer"
 
-    def run_on_function(self, fn: Function, ctx: CompilationContext) -> bool:
+    def run_on_function(self, fn: Function,
+                        ctx: CompilationContext) -> PreservedAnalyses:
         li = ctx.analyses(fn).li
         changed = False
         for loop in li.innermost():
@@ -97,9 +99,10 @@ class LoopVectorize(Pass):
                 continue
             self._transform(fn, loop, shape, plan, ctx)
             ctx.stats.add(self.display_name, "# vectorized loops")
+            # mid-run refresh: later iterations walk the rebuilt CFG
             ctx.invalidate(fn)
             changed = True
-        return changed
+        return PreservedAnalyses.from_changed(changed)
 
     # -- shape matching ------------------------------------------------------
     def _match_shape(self, loop: Loop) -> Optional[_Shape]:

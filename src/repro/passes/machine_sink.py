@@ -22,6 +22,7 @@ from ..ir.instructions import (
     PhiInst,
     SelectInst,
 )
+from .analysis_manager import PreservedAnalyses
 from .pass_manager import CompilationContext, Pass
 
 
@@ -31,7 +32,8 @@ class MachineSink(Pass):
 
     SINKABLE = (BinaryInst, CastInst, GEPInst, ICmpInst, FCmpInst, SelectInst)
 
-    def run_on_function(self, fn: Function, ctx: CompilationContext) -> bool:
+    def run_on_function(self, fn: Function,
+                        ctx: CompilationContext) -> PreservedAnalyses:
         dt = ctx.analyses(fn).dt
         aa = ctx.aa
         changed = False
@@ -80,7 +82,8 @@ class MachineSink(Pass):
                 target.insert_at_front(inst)
                 ctx.stats.add(self.display_name, "# instructions sunk")
                 changed = True
-        return changed
+        # moves instructions between existing blocks; the CFG is untouched
+        return PreservedAnalyses.from_changed(changed, preserves_cfg=True)
 
     @staticmethod
     def _common_user_block(users) -> BasicBlock:

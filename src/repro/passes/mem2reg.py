@@ -16,6 +16,7 @@ from ..ir.function import Function
 from ..ir.instructions import AllocaInst, Instruction, LoadInst, PhiInst, StoreInst
 from ..ir.values import UndefValue, Value
 from ..analysis.dominators import DominatorTree
+from .analysis_manager import PreservedAnalyses
 from .pass_manager import CompilationContext, Pass
 
 
@@ -56,11 +57,12 @@ class Mem2Reg(Pass):
     name = "mem2reg"
     display_name = "Promote Memory to Register"
 
-    def run_on_function(self, fn: Function, ctx: CompilationContext) -> bool:
+    def run_on_function(self, fn: Function,
+                        ctx: CompilationContext) -> PreservedAnalyses:
         allocas = [i for i in fn.entry.instructions
                    if isinstance(i, AllocaInst) and _promotable(i)]
         if not allocas:
-            return False
+            return PreservedAnalyses.all()
         dt = ctx.analyses(fn).dt
         df = dominance_frontiers(fn, dt)
 
@@ -134,7 +136,7 @@ class Mem2Reg(Pass):
         # prune dead or half-filled phis in unreachable-pred situations
         self._fixup_phis(fn, phi_for, undef)
         ctx.stats.add(self.display_name, "# allocas promoted", len(allocas))
-        return True
+        return PreservedAnalyses.none()
 
     @staticmethod
     def _fixup_phis(fn: Function, phi_for: Dict, undef: Dict) -> None:

@@ -17,6 +17,7 @@ from ..analysis.memloc import MemoryLocation
 from ..ir.function import Function
 from ..ir.instructions import MemCpyInst, MemSetInst
 from ..ir.values import ConstantInt
+from .analysis_manager import PreservedAnalyses
 from .pass_manager import CompilationContext, Pass
 
 
@@ -24,7 +25,8 @@ class MemCpyOpt(Pass):
     name = "memcpyopt"
     display_name = "MemCpy Optimization"
 
-    def run_on_function(self, fn: Function, ctx: CompilationContext) -> bool:
+    def run_on_function(self, fn: Function,
+                        ctx: CompilationContext) -> PreservedAnalyses:
         aa = ctx.aa
         changed = False
         for bb in fn.blocks:
@@ -45,7 +47,8 @@ class MemCpyOpt(Pass):
                 if self._forward_chain(bb, idx, inst, ctx):
                     changed = True
                 idx += 1
-        return changed
+        # rewrites/erases memcpys in place; the CFG is untouched
+        return PreservedAnalyses.from_changed(changed, preserves_cfg=True)
 
     def _forward_chain(self, bb, idx: int, second: MemCpyInst,
                        ctx: CompilationContext) -> bool:

@@ -1,11 +1,21 @@
 """Pass manager and compilation context.
 
-Mirrors the relevant behaviour of LLVM's pass manager (paper §III):
-passes run in a fixed sequence, may consume analyses (AA, dominators,
-loops, MemorySSA) computed lazily and invalidated by transformations,
-and the manager can announce executions (``-debug-pass=Executions``),
-which is how ORAQL's dumps attribute queries to the issuing pass
-(Fig. 3).
+Mirrors the relevant behaviour of LLVM's *new* pass manager (paper
+§III): passes run in a fixed sequence, consume analyses (AA,
+dominators, loops, MemorySSA) computed lazily through an
+:class:`~repro.passes.analysis_manager.AnalysisManager`, and report a
+:class:`~repro.passes.analysis_manager.PreservedAnalyses` describing
+exactly which analyses survive each transformation.  The manager can
+announce executions (``-debug-pass=Executions``), which is how ORAQL's
+dumps attribute queries to the issuing pass (Fig. 3).
+
+Invalidation is fine-grained: a CFG-preserving pass keeps its
+function's DominatorTree/LoopInfo alive, and a function-local change no
+longer nukes module-level AA state (per-function CFL summaries drop
+only the changed function's entry; GlobalsAA keeps its address-taken
+verdicts, as LLVM's module analyses survive function passes).  The
+legacy invalidate-everything behavior remains available as
+``invalidation="coarse"`` for the differential benchmarks.
 """
 
 from __future__ import annotations
@@ -23,67 +33,61 @@ from ..analysis import (
 from ..ir.function import Function
 from ..ir.module import Module
 from ..ir.verifier import verify_function
+from .analysis_manager import (
+    AnalysisManager,
+    DominatorTreeAnalysis,
+    LoopAnalysis,
+    MemorySSAAnalysis,
+    PreservedAnalyses,
+)
 from .statistics import Statistics
 
 
 class FunctionAnalyses:
-    """Lazily-built per-function analyses, rebuilt after invalidation."""
+    """Per-function analysis view, backed by the context's
+    :class:`AnalysisManager` (caching, invalidation, and the rebuild
+    counters all live there)."""
 
     def __init__(self, ctx: "CompilationContext", fn: Function):
         self.ctx = ctx
         self.fn = fn
-        self._dt: Optional[DominatorTree] = None
-        self._li: Optional[LoopInfo] = None
-        self._mssa: Optional[MemorySSA] = None
 
     @property
     def dt(self) -> DominatorTree:
-        if self._dt is None:
-            self._dt = DominatorTree(self.fn)
-        return self._dt
+        return self.ctx.am.get(DominatorTreeAnalysis, self.fn)
 
     @property
     def li(self) -> LoopInfo:
-        if self._li is None:
-            self._li = LoopInfo(self.fn, self.dt)
-        return self._li
+        return self.ctx.am.get(LoopAnalysis, self.fn)
 
     @property
     def mssa(self) -> MemorySSA:
         """MemorySSA with eager use optimization; queries issued during
         construction are attributed to the 'Memory SSA' pass."""
-        if self._mssa is None:
-            ctx = self.ctx
-            saved = ctx.aa.current_pass
-            ctx.announce("Memory SSA", self.fn)
-            ctx.aa.current_pass = "Memory SSA"
-            try:
-                self._mssa = MemorySSA(self.fn, ctx.aa, optimize_uses=True)
-            finally:
-                ctx.aa.current_pass = saved
-        return self._mssa
+        return self.ctx.am.get(MemorySSAAnalysis, self.fn)
 
 
 class CompilationContext:
     """Everything shared across one compilation: the AA chain (with the
-    optional ORAQL pass appended), statistics, the debug log, and cached
-    per-function analyses."""
+    optional ORAQL pass appended), statistics, the debug log, and the
+    analysis manager."""
 
     def __init__(self, module: Module,
                  aa_chain: Sequence[str] = DEFAULT_AA_CHAIN,
                  oraql=None, override=None,
                  debug_pass_executions: bool = False,
-                 verify_each: bool = False):
+                 verify_each: bool = False,
+                 verify_analyses: bool = False,
+                 invalidation: str = "fine"):
+        if invalidation not in ("fine", "coarse"):
+            raise ValueError(f"unknown invalidation mode {invalidation!r}")
         self.module = module
         self.oraql = oraql
         self.override = override
         analyses = []
         for name in aa_chain:
             cls = ALL_AA_PASSES[name]
-            try:
-                analyses.append(cls(module))  # GlobalsAA takes the module
-            except TypeError:
-                analyses.append(cls())
+            analyses.append(cls(module) if cls.requires_module else cls())
         self.aa = AAResults(analyses, oraql=oraql, override=override)
         if oraql is not None:
             oraql.attach(self)
@@ -91,25 +95,30 @@ class CompilationContext:
         self.debug_log: List[str] = []
         self.debug_pass_executions = debug_pass_executions
         self.verify_each = verify_each
-        self._fn_analyses: Dict[int, FunctionAnalyses] = {}
+        self.verify_analyses = verify_analyses
+        self.invalidation = invalidation
+        self.am = AnalysisManager(self)
+        self._fn_views: Dict[int, FunctionAnalyses] = {}
 
     # -- analyses ----------------------------------------------------------
     def analyses(self, fn: Function) -> FunctionAnalyses:
-        fa = self._fn_analyses.get(fn.id)
-        if fa is None:
-            fa = FunctionAnalyses(self, fn)
-            self._fn_analyses[fn.id] = fa
-        return fa
+        view = self._fn_views.get(fn.id)
+        if view is None:
+            view = FunctionAnalyses(self, fn)
+            self._fn_views[fn.id] = view
+        return view
 
-    def invalidate(self, fn: Optional[Function] = None) -> None:
+    def invalidate(self, fn: Optional[Function] = None,
+                   pa: Optional[PreservedAnalyses] = None) -> None:
+        """Invalidate analyses after a change: everything ``pa`` does
+        not preserve, at function scope when ``fn`` is given, module
+        scope otherwise.  ``pa=None`` preserves nothing (the legacy
+        meaning of ``invalidate``, used by passes that mutate the CFG
+        mid-run and must refetch loop structure)."""
         if fn is None:
-            self._fn_analyses.clear()
+            self.am.invalidate_module(pa)
         else:
-            self._fn_analyses.pop(fn.id, None)
-        for analysis in self.aa.analyses:
-            inv = getattr(analysis, "invalidate", None)
-            if inv is not None:
-                inv()
+            self.am.invalidate_function(fn, pa)
 
     # -- logging --------------------------------------------------------------
     def announce(self, pass_name: str, fn: Optional[Function] = None) -> None:
@@ -123,12 +132,19 @@ class CompilationContext:
 
 
 class Pass:
-    """Base class: function-at-a-time transformation."""
+    """Base class: function-at-a-time transformation.
+
+    ``run_on_function`` returns a :class:`PreservedAnalyses`:
+    ``PreservedAnalyses.all()`` when nothing changed, ``cfg()`` when
+    instructions changed but the block graph did not, ``none()`` when
+    the CFG itself may have changed.
+    """
 
     name = "pass"
     display_name = "Pass"
 
-    def run_on_function(self, fn: Function, ctx: CompilationContext) -> bool:
+    def run_on_function(self, fn: Function,
+                        ctx: CompilationContext) -> PreservedAnalyses:
         raise NotImplementedError
 
     def should_run_on(self, fn: Function) -> bool:
@@ -136,9 +152,12 @@ class Pass:
 
 
 class ModulePass(Pass):
-    """Base class: whole-module transformation."""
+    """Base class: whole-module transformation.  ``run_on_module``
+    returns a :class:`PreservedAnalyses` whose ``modified_functions``
+    (when known) scopes both invalidation and ``verify_each``."""
 
-    def run_on_module(self, module: Module, ctx: CompilationContext) -> bool:
+    def run_on_module(self, module: Module,
+                      ctx: CompilationContext) -> PreservedAnalyses:
         raise NotImplementedError
 
 
@@ -156,12 +175,19 @@ class PassManager:
                 ctx.announce(p.display_name)
                 ctx.aa.current_pass = p.display_name
                 ctx.aa.current_function = None
-                changed = p.run_on_module(module, ctx)
-                if changed:
-                    ctx.invalidate()
-                    if ctx.verify_each:
-                        for fn in module.defined_functions():
-                            verify_function(fn)
+                pa = p.run_on_module(module, ctx)
+                if not pa.are_all_preserved():
+                    ctx.am.invalidate_module(pa)
+                    touched = (pa.modified_functions
+                               if pa.modified_functions is not None
+                               else module.defined_functions())
+                    for fn in touched:
+                        if ctx.verify_each:
+                            verify_function(
+                                fn, dt=ctx.am.cached(DominatorTreeAnalysis,
+                                                     fn))
+                        if ctx.verify_analyses:
+                            ctx.am.verify_preserved(fn, p.display_name)
                 continue
             for fn in list(module.defined_functions()):
                 if not p.should_run_on(fn):
@@ -169,10 +195,13 @@ class PassManager:
                 ctx.announce(p.display_name, fn)
                 ctx.aa.current_pass = p.display_name
                 ctx.aa.current_function = fn
-                changed = p.run_on_function(fn, ctx)
-                if changed:
-                    ctx.invalidate(fn)
+                pa = p.run_on_function(fn, ctx)
+                if not pa.are_all_preserved():
+                    ctx.am.invalidate_function(fn, pa)
                     if ctx.verify_each:
-                        verify_function(fn)
+                        verify_function(
+                            fn, dt=ctx.am.cached(DominatorTreeAnalysis, fn))
+                    if ctx.verify_analyses:
+                        ctx.am.verify_preserved(fn, p.display_name)
         ctx.aa.current_pass = "<none>"
         ctx.aa.current_function = None

@@ -22,6 +22,7 @@ from ..ir.instructions import (
 )
 from ..ir.values import ConstantFloat, ConstantInt, UndefValue, Value
 from ..ir.types import FloatType, IntType
+from .analysis_manager import PreservedAnalyses
 from .pass_manager import CompilationContext, Pass
 
 
@@ -41,7 +42,8 @@ class InstCombine(Pass):
     name = "instcombine"
     display_name = "Combine redundant instructions"
 
-    def run_on_function(self, fn: Function, ctx: CompilationContext) -> bool:
+    def run_on_function(self, fn: Function,
+                        ctx: CompilationContext) -> PreservedAnalyses:
         changed = False
         for bb in fn.blocks:
             for inst in list(bb.instructions):
@@ -51,7 +53,9 @@ class InstCombine(Pass):
                     inst.erase_from_parent()
                     ctx.stats.add(self.display_name, "# insts combined")
                     changed = True
-        return changed
+        # folds values in place, never terminators: branch folding is
+        # SimplifyCFG's job, so the block graph survives
+        return PreservedAnalyses.from_changed(changed, preserves_cfg=True)
 
     @staticmethod
     def _simplify(inst: Instruction) -> Optional[Value]:
@@ -141,7 +145,8 @@ class DeadCodeElim(Pass):
     name = "dce"
     display_name = "Dead Code Elimination"
 
-    def run_on_function(self, fn: Function, ctx: CompilationContext) -> bool:
+    def run_on_function(self, fn: Function,
+                        ctx: CompilationContext) -> PreservedAnalyses:
         changed = False
         again = True
         while again:
@@ -157,7 +162,8 @@ class DeadCodeElim(Pass):
                     changed = again = True
             if self._erase_dead_phi_cycles(fn, ctx):
                 changed = again = True
-        return changed
+        # never erases terminators, so the block graph survives
+        return PreservedAnalyses.from_changed(changed, preserves_cfg=True)
 
     @staticmethod
     def _erase_dead_phi_cycles(fn: Function, ctx: CompilationContext) -> bool:
@@ -193,12 +199,13 @@ class SimplifyCFG(Pass):
     name = "simplifycfg"
     display_name = "Simplify the CFG"
 
-    def run_on_function(self, fn: Function, ctx: CompilationContext) -> bool:
+    def run_on_function(self, fn: Function,
+                        ctx: CompilationContext) -> PreservedAnalyses:
         changed = False
         changed |= self._fold_constant_branches(fn, ctx)
         changed |= self._remove_unreachable(fn, ctx)
         changed |= self._merge_chains(fn, ctx)
-        return changed
+        return PreservedAnalyses.from_changed(changed)
 
     def _fold_constant_branches(self, fn: Function,
                                 ctx: CompilationContext) -> bool:

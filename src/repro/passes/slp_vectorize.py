@@ -27,6 +27,7 @@ from ..ir.instructions import (
 )
 from ..ir.types import VectorType, ptr
 from ..ir.values import ConstantFloat, ConstantInt, Value
+from .analysis_manager import PreservedAnalyses
 from .pass_manager import CompilationContext, Pass
 
 LANES = 4
@@ -46,12 +47,14 @@ class SLPVectorize(Pass):
     name = "slp-vectorizer"
     display_name = "SLP Vectorizer"
 
-    def run_on_function(self, fn: Function, ctx: CompilationContext) -> bool:
+    def run_on_function(self, fn: Function,
+                        ctx: CompilationContext) -> PreservedAnalyses:
         changed = False
         for bb in list(fn.blocks):
             while self._vectorize_block(fn, bb, ctx):
                 changed = True
-        return changed
+        # rewrites straight-line groups inside blocks; the CFG is untouched
+        return PreservedAnalyses.from_changed(changed, preserves_cfg=True)
 
     # -- one group per call -----------------------------------------------
     def _vectorize_block(self, fn: Function, bb: BasicBlock,

@@ -1,0 +1,448 @@
+"""AnalysisManager / PreservedAnalyses semantics, fine-grained
+invalidation, verification of preservation claims, and the coarse-mode
+equivalence guarantees the refactor rests on."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import ALL_AA_PASSES
+from repro.frontend import compile_source
+from repro.ir import verify_module
+from repro.ir.instructions import BranchInst
+from repro.passes import (
+    AnalysisVerificationError,
+    CompilationContext,
+    DominatorTreeAnalysis,
+    LoopAnalysis,
+    MemorySSAAnalysis,
+    ModulePass,
+    Pass,
+    PassManager,
+    PreservedAnalyses,
+    build_pipeline,
+)
+
+from helpers import run_main
+
+LOOP_SRC = """
+double acc[64];
+int main() {
+  for (int i = 0; i < 64; i = i + 1) acc[i] = i * 2;
+  double s = 0.0;
+  for (int i = 0; i < 64; i = i + 1) s = s + acc[i];
+  printf("%f\n", s);
+  return 0;
+}
+"""
+
+
+def _ctx(src=LOOP_SRC, **kw):
+    module = compile_source(src, "t.c")
+    verify_module(module)
+    return module, CompilationContext(module, **kw)
+
+
+# -- PreservedAnalyses -------------------------------------------------------
+
+class TestPreservedAnalyses:
+    def test_all_preserves_everything(self):
+        pa = PreservedAnalyses.all()
+        assert pa.are_all_preserved()
+        assert pa.preserves(DominatorTreeAnalysis)
+        assert pa.preserves(MemorySSAAnalysis)
+
+    def test_none_preserves_nothing(self):
+        pa = PreservedAnalyses.none()
+        assert not pa.are_all_preserved()
+        assert not pa.preserves(DominatorTreeAnalysis)
+        assert not pa.preserves(LoopAnalysis)
+
+    def test_cfg_preserves_dt_li_but_not_mssa(self):
+        pa = PreservedAnalyses.cfg()
+        assert not pa.are_all_preserved()
+        assert pa.preserves(DominatorTreeAnalysis)
+        assert pa.preserves(LoopAnalysis)
+        assert not pa.preserves(MemorySSAAnalysis)
+
+    def test_from_changed_bridge(self):
+        assert PreservedAnalyses.from_changed(False).are_all_preserved()
+        assert PreservedAnalyses.from_changed(
+            True, preserves_cfg=True).preserves(DominatorTreeAnalysis)
+        assert not PreservedAnalyses.from_changed(True).preserves(
+            DominatorTreeAnalysis)
+
+    def test_no_truth_value(self):
+        # the boolean 'changed' protocol is gone; any stale truthiness
+        # test must fail loudly instead of silently misbehaving
+        with pytest.raises(TypeError):
+            bool(PreservedAnalyses.all())
+        with pytest.raises(TypeError):
+            if PreservedAnalyses.none():  # pragma: no cover
+                pass
+
+    def test_intersect(self):
+        both = PreservedAnalyses.all().intersect(PreservedAnalyses.cfg())
+        assert both.preserves(DominatorTreeAnalysis)
+        assert not both.preserves(MemorySSAAnalysis)
+        nothing = PreservedAnalyses.cfg().intersect(PreservedAnalyses.none())
+        assert not nothing.preserves(DominatorTreeAnalysis)
+        assert PreservedAnalyses.all().intersect(
+            PreservedAnalyses.all()).are_all_preserved()
+
+    def test_intersect_merges_modified_functions(self):
+        a = PreservedAnalyses.none(modified_functions={"f"})
+        b = PreservedAnalyses.none(modified_functions={"g"})
+        assert a.intersect(b).modified_functions == {"f", "g"}
+        # unknown extent on a non-all() side poisons the merge
+        c = PreservedAnalyses.none()
+        assert a.intersect(c).modified_functions is None
+
+
+# -- caching and invalidation ------------------------------------------------
+
+class TestAnalysisManagerCaching:
+    def test_get_caches_and_counts(self):
+        module, ctx = _ctx()
+        fn = next(iter(module.defined_functions()))
+        dt1 = ctx.am.get(DominatorTreeAnalysis, fn)
+        dt2 = ctx.am.get(DominatorTreeAnalysis, fn)
+        assert dt1 is dt2
+        assert ctx.am.builds["DominatorTree"] == 1
+        assert ctx.am.cache_hits["DominatorTree"] == 1
+
+    def test_cached_never_builds(self):
+        module, ctx = _ctx()
+        fn = next(iter(module.defined_functions()))
+        assert ctx.am.cached(DominatorTreeAnalysis, fn) is None
+        ctx.am.get(DominatorTreeAnalysis, fn)
+        assert ctx.am.cached(DominatorTreeAnalysis, fn) is not None
+
+    def test_cfg_preservation_keeps_dt_li_drops_mssa(self):
+        module, ctx = _ctx()
+        fn = next(iter(module.defined_functions()))
+        dt = ctx.am.get(DominatorTreeAnalysis, fn)
+        li = ctx.am.get(LoopAnalysis, fn)
+        mssa = ctx.am.get(MemorySSAAnalysis, fn)
+        ctx.am.invalidate_function(fn, PreservedAnalyses.cfg())
+        assert ctx.am.cached(DominatorTreeAnalysis, fn) is dt
+        assert ctx.am.cached(LoopAnalysis, fn) is li
+        assert ctx.am.cached(MemorySSAAnalysis, fn) is None
+        # a hit on a survivor counts as an avoided rebuild
+        ctx.am.get(DominatorTreeAnalysis, fn)
+        assert ctx.am.preserved_hits["DominatorTree"] == 1
+
+    def test_none_drops_everything_for_fn(self):
+        module, ctx = _ctx()
+        fn = next(iter(module.defined_functions()))
+        ctx.am.get(DominatorTreeAnalysis, fn)
+        ctx.am.invalidate_function(fn, PreservedAnalyses.none())
+        assert ctx.am.cached(DominatorTreeAnalysis, fn) is None
+
+    def test_all_preserved_is_a_noop(self):
+        module, ctx = _ctx()
+        fn = next(iter(module.defined_functions()))
+        ctx.am.get(DominatorTreeAnalysis, fn)
+        epoch = ctx.am.epoch
+        ctx.am.invalidate_function(fn, PreservedAnalyses.all())
+        assert ctx.am.epoch == epoch
+        assert ctx.am.cached(DominatorTreeAnalysis, fn) is not None
+
+    def test_coarse_mode_ignores_preservation(self):
+        module, ctx = _ctx(invalidation="coarse")
+        fn = next(iter(module.defined_functions()))
+        ctx.am.get(DominatorTreeAnalysis, fn)
+        ctx.am.invalidate_function(fn, PreservedAnalyses.cfg())
+        assert ctx.am.cached(DominatorTreeAnalysis, fn) is None
+
+    def test_invalid_mode_rejected(self):
+        module = compile_source(LOOP_SRC, "t.c")
+        with pytest.raises(ValueError):
+            CompilationContext(module, invalidation="eager")
+
+
+MULTI_FN_SRC = """
+int g(int x) { return x + 1; }
+int h(int x) { return x * 2; }
+int main() { printf("%d\n", g(3) + h(4)); return 0; }
+"""
+
+
+class TestModuleScopedInvalidation:
+    def test_modified_functions_scopes_invalidation(self):
+        module, ctx = _ctx(MULTI_FN_SRC)
+        fns = {f.name: f for f in module.defined_functions()}
+        dt_g = ctx.am.get(DominatorTreeAnalysis, fns["g"])
+        dt_h = ctx.am.get(DominatorTreeAnalysis, fns["h"])
+        ctx.am.invalidate_module(
+            PreservedAnalyses.none(modified_functions={fns["g"]}))
+        assert ctx.am.cached(DominatorTreeAnalysis, fns["g"]) is None
+        assert ctx.am.cached(DominatorTreeAnalysis, fns["h"]) is dt_h
+
+    def test_unknown_extent_invalidates_all(self):
+        module, ctx = _ctx(MULTI_FN_SRC)
+        fns = {f.name: f for f in module.defined_functions()}
+        ctx.am.get(DominatorTreeAnalysis, fns["g"])
+        ctx.am.get(DominatorTreeAnalysis, fns["h"])
+        ctx.am.invalidate_module(PreservedAnalyses.none())
+        assert ctx.am.cached(DominatorTreeAnalysis, fns["g"]) is None
+        assert ctx.am.cached(DominatorTreeAnalysis, fns["h"]) is None
+
+
+# -- AA chain construction and invalidation scopes ---------------------------
+
+class TestAAChain:
+    def test_requires_module_dispatch(self):
+        module, ctx = _ctx()
+        globals_aa = next(a for a in ctx.aa.analyses
+                          if a.name == "globals-aa")
+        assert globals_aa.module is module
+
+    def test_constructor_typeerror_not_swallowed(self):
+        """The old ``try: cls(module) except TypeError: cls()`` probe
+        swallowed TypeErrors raised *inside* constructors; the explicit
+        ``requires_module`` dispatch must propagate them."""
+        class BrokenAA:
+            name = "broken-aa"
+            requires_module = True
+
+            def __init__(self, module):
+                raise TypeError("genuine constructor bug")
+
+        ALL_AA_PASSES["broken-aa"] = BrokenAA
+        try:
+            module = compile_source(LOOP_SRC, "t.c")
+            with pytest.raises(TypeError, match="genuine constructor bug"):
+                CompilationContext(module, aa_chain=("broken-aa",))
+        finally:
+            del ALL_AA_PASSES["broken-aa"]
+
+    def test_function_scope_invalidation_is_per_function(self):
+        module, ctx = _ctx(MULTI_FN_SRC, aa_chain=(
+            "basic-aa", "cfl-steens-aa", "globals-aa"))
+        fns = {f.name: f for f in module.defined_functions()}
+        steens = next(a for a in ctx.aa.analyses
+                      if a.name == "cfl-steens-aa")
+        steens._summary(fns["g"])
+        steens._summary(fns["h"])
+        ctx.am.invalidate_function(fns["g"], PreservedAnalyses.cfg())
+        assert fns["g"].id not in steens._summaries
+        assert fns["h"].id in steens._summaries
+
+    def test_globals_aa_survives_function_change_fine(self):
+        module, ctx = _ctx()
+        fn = next(iter(module.defined_functions()))
+        globals_aa = next(a for a in ctx.aa.analyses
+                          if a.name == "globals-aa")
+        globals_aa._cache[12345] = True
+        ctx.am.invalidate_function(fn, PreservedAnalyses.cfg())
+        assert globals_aa._cache  # module analyses survive function passes
+
+    def test_globals_aa_dropped_under_coarse(self):
+        module, ctx = _ctx(invalidation="coarse")
+        fn = next(iter(module.defined_functions()))
+        globals_aa = next(a for a in ctx.aa.analyses
+                          if a.name == "globals-aa")
+        globals_aa._cache[12345] = True
+        ctx.am.invalidate_function(fn, PreservedAnalyses.cfg())
+        assert not globals_aa._cache
+
+    def test_invalidate_interprocedural_drops_module_scope_only(self):
+        module, ctx = _ctx(MULTI_FN_SRC, aa_chain=(
+            "basic-aa", "cfl-steens-aa", "globals-aa"))
+        fns = {f.name: f for f in module.defined_functions()}
+        steens = next(a for a in ctx.aa.analyses
+                      if a.name == "cfl-steens-aa")
+        globals_aa = next(a for a in ctx.aa.analyses
+                          if a.name == "globals-aa")
+        steens._summary(fns["h"])
+        globals_aa._cache[12345] = True
+        ctx.am.invalidate_interprocedural()
+        assert not globals_aa._cache
+        assert fns["h"].id in steens._summaries
+
+
+# -- verify_analyses: catching passes that lie -------------------------------
+
+class LyingPass(Pass):
+    """Folds away a conditional branch (a CFG change) but claims the
+    CFG analyses survived."""
+
+    name = "lying"
+    display_name = "Lying Pass"
+
+    def run_on_function(self, fn, ctx):
+        for bb in fn.blocks:
+            term = bb.terminator
+            if isinstance(term, BranchInst) and term.is_conditional:
+                keep = term.targets[0]
+                drop = term.targets[1]
+                if drop is not keep:
+                    for phi in drop.phis():
+                        phi.remove_incoming(bb)
+                term.erase_from_parent()
+                bb.append(BranchInst([keep]))
+                return PreservedAnalyses.cfg()  # the lie
+        return PreservedAnalyses.all()
+
+
+class HonestPass(LyingPass):
+    name = "honest"
+    display_name = "Honest Pass"
+
+    def run_on_function(self, fn, ctx):
+        pa = super().run_on_function(fn, ctx)
+        if pa.are_all_preserved():
+            return pa
+        return PreservedAnalyses.none()  # the truth
+
+
+BRANCH_SRC = """
+int main() {
+  int x = 0;
+  if (1) { x = 3; } else { x = 4; }
+  printf("%d\n", x);
+  return 0;
+}
+"""
+
+
+class TestVerifyAnalyses:
+    def _prime(self, ctx, module):
+        # the lie is only detectable when a stale DT is actually cached
+        for fn in module.defined_functions():
+            ctx.am.get(DominatorTreeAnalysis, fn)
+            ctx.am.get(LoopAnalysis, fn)
+
+    def test_lying_pass_caught(self):
+        module, ctx = _ctx(BRANCH_SRC, verify_analyses=True)
+        self._prime(ctx, module)
+        with pytest.raises(AnalysisVerificationError, match="Lying Pass"):
+            PassManager(ctx).run([LyingPass()])
+
+    def test_honest_pass_accepted(self):
+        module, ctx = _ctx(BRANCH_SRC, verify_analyses=True)
+        self._prime(ctx, module)
+        PassManager(ctx).run([HonestPass()])
+
+    def test_lie_undetected_without_flag(self):
+        module, ctx = _ctx(BRANCH_SRC)
+        self._prime(ctx, module)
+        PassManager(ctx).run([LyingPass()])  # no error: mode is opt-in
+
+    def test_full_pipeline_under_verification(self):
+        # every stock pass must be honest about what it preserves
+        module, ctx = _ctx(verify_analyses=True, verify_each=True)
+        PassManager(ctx).run(build_pipeline(3))
+        verify_module(module)
+        run_main(module)
+
+
+# -- module passes ------------------------------------------------------------
+
+class RenamingModulePass(ModulePass):
+    """Touches exactly one function and says so."""
+
+    name = "touch-one"
+    display_name = "Touch One Function"
+
+    def __init__(self, target_name):
+        self.target_name = target_name
+
+    def run_on_module(self, module, ctx):
+        for fn in module.defined_functions():
+            if fn.name == self.target_name:
+                # reuse the lying-pass CFG mutation as "a change"
+                pa = HonestPass().run_on_function(fn, ctx)
+                if not pa.are_all_preserved():
+                    return PreservedAnalyses.none(modified_functions={fn})
+        return PreservedAnalyses.all()
+
+
+MODULE_SRC = """
+int pick(int c) {
+  int x = 0;
+  if (c) { x = 3; } else { x = 4; }
+  return x;
+}
+int other(int x) { return x + 1; }
+int main() { printf("%d\n", pick(1) + other(2)); return 0; }
+"""
+
+
+class TestModulePasses:
+    def test_verify_each_scopes_to_modified_functions(self):
+        module, ctx = _ctx(MODULE_SRC, verify_each=True)
+        fns = {f.name: f for f in module.defined_functions()}
+        dt_other = ctx.am.get(DominatorTreeAnalysis, fns["other"])
+        PassManager(ctx).run([RenamingModulePass("pick")])
+        # untouched function keeps its analyses (and was not re-verified
+        # against a stale tree)
+        assert ctx.am.cached(DominatorTreeAnalysis, fns["other"]) is dt_other
+        assert ctx.am.cached(DominatorTreeAnalysis, fns["pick"]) is None
+
+    def test_unchanged_module_pass_keeps_everything(self):
+        module, ctx = _ctx(MODULE_SRC)
+        fns = {f.name: f for f in module.defined_functions()}
+        dt = ctx.am.get(DominatorTreeAnalysis, fns["main"])
+        PassManager(ctx).run([RenamingModulePass("no-such-function")])
+        assert ctx.am.cached(DominatorTreeAnalysis, fns["main"]) is dt
+
+
+# -- fine vs coarse equivalence ----------------------------------------------
+
+class TestEquivalence:
+    @pytest.mark.parametrize("opt_level", [2, 3])
+    def test_fine_and_coarse_produce_identical_ir(self, opt_level):
+        from repro.ir import module_hash
+
+        outs = {}
+        for mode in ("fine", "coarse"):
+            module = compile_source(LOOP_SRC, "t.c")
+            ctx = CompilationContext(module, invalidation=mode)
+            PassManager(ctx).run(build_pipeline(opt_level))
+            verify_module(module)
+            m = run_main(module)
+            outs[mode] = (module_hash(module), m.output(),
+                          ctx.aa.total_queries, ctx.aa.no_alias_count)
+        assert outs["fine"] == outs["coarse"]
+
+    def test_all_workloads_fine_vs_coarse(self):
+        """Every bundled configuration compiles to a bit-identical
+        executable with an identical AA query stream under both
+        invalidation modes, and the ORAQL pass sees the same unique
+        query sequence."""
+        import repro.workloads  # noqa: F401 — registers all variants
+        from repro.oraql.compiler import Compiler
+        from repro.workloads.base import get_config, row_names
+
+        for row in row_names():
+            seen = {}
+            for mode in ("fine", "coarse"):
+                cfg = get_config(row)
+                prog = Compiler(invalidation=mode).compile(
+                    cfg, oraql_enabled=True)
+                seen[mode] = (
+                    prog.exe_hash,
+                    prog.ctx.aa.total_queries,
+                    prog.no_alias_count,
+                    [(rec.index, rec.optimistic, rec.cached, rec.scope,
+                      rec.issuing_pass, rec.a.ptr.name, rec.b.ptr.name)
+                     for rec in prog.oraql.records],
+                )
+            assert seen["fine"] == seen["coarse"], row
+
+    def test_fine_avoids_rebuilds(self):
+        builds = {}
+        for mode in ("fine", "coarse"):
+            module = compile_source(LOOP_SRC, "t.c")
+            ctx = CompilationContext(module, invalidation=mode)
+            PassManager(ctx).run(build_pipeline(3))
+            builds[mode] = dict(ctx.am.builds)
+        assert builds["fine"]["DominatorTree"] < \
+            builds["coarse"]["DominatorTree"]
+        assert builds["fine"]["LoopInfo"] <= builds["coarse"]["LoopInfo"]
+        # MemorySSA is never preserved: its schedule must be identical,
+        # or the ORAQL query stream would change
+        assert builds["fine"].get("MemorySSA") == \
+            builds["coarse"].get("MemorySSA")
