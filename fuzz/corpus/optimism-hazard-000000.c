@@ -1,0 +1,20 @@
+void hz9(double* dst, double* src)
+{
+  for (int i = 0; (i < 6); (i)++)
+  {
+    dst[i] = (src[i] + 1.0);
+  }
+}
+
+int main()
+{
+  double a0[20];
+  hz9((a0 + 1), a0);
+  double c10 = 0.0;
+  for (int i11 = 0; (i11 < 20); (i11)++)
+  {
+    c10 = (c10 + (a0[i11] * 1.0));
+  }
+  printf("%.6f %.6f %.6f %.6f %.6f %.6f\n", c10, 0.0, 0.0, 0.0, 0.0, 0.0);
+}
+

@@ -1,0 +1,21 @@
+void hz8(double* x, double* acc)
+{
+  for (int i = 0; (i < 16); (i)++)
+  {
+    acc[0] = (acc[0] + x[i]);
+  }
+}
+
+int main()
+{
+  double a0[17];
+  a0[3] = (a0[3] + 0.25);
+  hz8(a0, (a0 + 15));
+  double c9 = 0.0;
+  for (int i10 = 0; (i10 < 17); (i10)++)
+  {
+    c9 = (c9 + (a0[i10] * 1.0));
+  }
+  printf("%.6f %.6f %.6f %.6f\n", c9, 0.0, 0.0, 0.0);
+}
+

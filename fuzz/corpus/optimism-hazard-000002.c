@@ -1,0 +1,24 @@
+void hz4(double* x, double* acc)
+{
+  for (int i = 0; (i < 5); (i)++)
+  {
+    acc[0] = (acc[0] + x[i]);
+  }
+}
+
+int main()
+{
+  double a0[9];
+  for (int i1 = 0; (i1 < 9); (i1)++)
+  {
+    a0[i1] = ((i1 * 0.125) + 0.0);
+  }
+  hz4(a0, (a0 + 4));
+  double c5 = 0.0;
+  for (int i6 = 0; (i6 < 9); (i6)++)
+  {
+    c5 = (c5 + (a0[i6] * 1.0));
+  }
+  printf("%.6f %.6f %.6f %.6f\n", c5, 0.0, 0.0, 0.0);
+}
+

@@ -1,0 +1,24 @@
+void hz6(double* x, double* acc)
+{
+  for (int i = 0; (i < 12); (i)++)
+  {
+    acc[0] = (acc[0] + x[i]);
+  }
+}
+
+int main()
+{
+  double a0[17];
+  for (int i1 = 0; (i1 < 17); (i1)++)
+  {
+    a0[i1] = ((i1 * 1.0) + -1.0);
+  }
+  hz6(a0, (a0 + 11));
+  double c7 = 0.0;
+  for (int i8 = 0; (i8 < 17); (i8)++)
+  {
+    c7 = (c7 + (a0[i8] * 1.0));
+  }
+  printf("%.6f %.6f %.6f %.6f\n", c7, 0.0, 0.0, 0.0);
+}
+

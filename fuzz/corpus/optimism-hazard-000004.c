@@ -1,0 +1,24 @@
+void hz5(double* x, double* acc)
+{
+  for (int i = 0; (i < 8); (i)++)
+  {
+    acc[0] = (acc[0] + x[i]);
+  }
+}
+
+int main()
+{
+  double a1[15];
+  for (int i2 = 0; (i2 < 15); (i2)++)
+  {
+    a1[i2] = ((i2 * 0.25) + -2.0);
+  }
+  hz5(a1, (a1 + 7));
+  double c8 = 0.0;
+  for (int i9 = 0; (i9 < 15); (i9)++)
+  {
+    c8 = (c8 + (a1[i9] * 1.0));
+  }
+  printf("%.6f %.6f %.6f %.6f\n", 0.0, 0.0, c8, 0.0);
+}
+

@@ -1,0 +1,24 @@
+void hz6(double* x, double* acc)
+{
+  for (int i = 0; (i < 6); (i)++)
+  {
+    acc[0] = (acc[0] + x[i]);
+  }
+}
+
+int main()
+{
+  double a0[19];
+  for (int i1 = 0; (i1 < 19); (i1)++)
+  {
+    a0[i1] = ((i1 * 0.5) + 3.0);
+  }
+  hz6(a0, (a0 + 5));
+  double c7 = 0.0;
+  for (int i8 = 0; (i8 < 19); (i8)++)
+  {
+    c7 = (c7 + (a0[i8] * 1.0));
+  }
+  printf("%.6f %.6f %.6f %.6f %.6f %.6f\n", c7, 0.0, 0.0, 0.0, 0.0, 0.0);
+}
+

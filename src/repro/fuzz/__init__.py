@@ -1,0 +1,24 @@
+"""repro.fuzz — differential fuzzing subsystem.
+
+A randomized differential harness that turns the compilation pipeline
+into its own oracle (SQLancer-style): a seeded grammar-aware program
+generator (:mod:`.generator`), a multi-configuration differential
+oracle (:mod:`.oracle`), a delta-debugging test-case reducer
+(:mod:`.reduce`), a persistent regression corpus (:mod:`.corpus`), and
+a campaign runner with seed fan-out and a time budget
+(:mod:`.campaign`), driven by ``python -m repro.fuzz``.
+"""
+
+from .campaign import CampaignOptions, CampaignReport, run_campaign
+from .corpus import CorpusEntry, load_corpus, write_entry
+from .generator import (
+    GeneratedProgram,
+    GeneratorOptions,
+    ProgramGenerator,
+    generate_program,
+)
+from .oracle import DifferentialOracle, OracleFinding, OracleResult
+from .reduce import reduce_program
+from .render import ast_size, render_unit
+
+__all__ = [name for name in dir() if not name.startswith("_")]

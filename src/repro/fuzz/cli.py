@@ -1,0 +1,118 @@
+"""``python -m repro.fuzz`` — the differential fuzzing CLI.
+
+Examples::
+
+    python -m repro.fuzz --seeds 500 --jobs 4
+    python -m repro.fuzz --seeds 100 --self-test --jobs 4
+    python -m repro.fuzz --seeds 10000 --jobs 8 --time-budget 1800 \\
+        --cache-dir .fuzz-cache
+    python -m repro.fuzz --seeds 50 --corpus-dir fuzz/corpus --self-test
+
+Exit status is 0 when the campaign found no unexplained divergences
+(and, under ``--self-test``, every injected-unsound sequence was caught
+and shrunk), 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from .campaign import CampaignOptions, SeedResult, run_campaign
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.fuzz",
+        description="Differential fuzzing of the ORAQL pipeline: random "
+                    "programs, a multi-config oracle (O0 interpretation "
+                    "vs. full pipeline, fine vs. coarse invalidation, "
+                    "pessimistic AA vs. ORAQL sequences), and a "
+                    "delta-debugging reducer.")
+    p.add_argument("--seeds", type=int, default=200, metavar="N",
+                   help="number of seeds to fuzz (default 200)")
+    p.add_argument("--seed-start", type=int, default=0, metavar="S",
+                   help="first seed (campaigns are resumable by range)")
+    p.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                   help="worker processes (1 = in-process)")
+    p.add_argument("--time-budget", type=float, default=None, metavar="SEC",
+                   help="wall-clock budget; the campaign reports partial "
+                        "results when it runs out")
+    p.add_argument("--self-test", action="store_true",
+                   help="inject known-dangerous no-alias answers (hazard "
+                        "templates) into every seed and require the "
+                        "oracle to catch and the reducer to shrink them")
+    p.add_argument("--hazard-rate", type=float, default=0.25,
+                   metavar="P",
+                   help="fraction of seeds biased towards overlapping "
+                        "aliasing patterns (default 0.25)")
+    p.add_argument("--opt-level", type=int, default=3, choices=[1, 2, 3],
+                   help="optimization level under test (default 3)")
+    p.add_argument("--no-reduce", action="store_true",
+                   help="skip delta-debugging of findings")
+    p.add_argument("--max-reduce-trials", type=int, default=600,
+                   metavar="N")
+    p.add_argument("--max-tests", type=int, default=2_000, metavar="N",
+                   help="probing-driver test budget per bisection")
+    p.add_argument("--cache-dir", metavar="DIR",
+                   help="persistent verdict cache shared with the "
+                        "probing drivers (same format as oraql "
+                        "--cache-dir)")
+    p.add_argument("--corpus-dir", metavar="DIR",
+                   help="write minimized reproducers here "
+                        "(fuzz/corpus is the checked-in regression set)")
+    p.add_argument("--quiet", "-q", action="store_true",
+                   help="suppress per-seed progress lines")
+    return p
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.seeds < 1:
+        parser.error(f"--seeds must be >= 1 (got {args.seeds})")
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1 (got {args.jobs})")
+    if not (0.0 <= args.hazard_rate <= 1.0):
+        parser.error("--hazard-rate must be within [0, 1]")
+    if args.cache_dir and os.path.exists(args.cache_dir) \
+            and not os.path.isdir(args.cache_dir):
+        parser.error(f"--cache-dir is not a directory: {args.cache_dir}")
+
+    opts = CampaignOptions(
+        seeds=args.seeds, seed_start=args.seed_start, jobs=args.jobs,
+        time_budget=args.time_budget, self_test=args.self_test,
+        hazard_rate=args.hazard_rate, opt_level=args.opt_level,
+        reduce=not args.no_reduce,
+        max_reduce_trials=args.max_reduce_trials,
+        max_tests=args.max_tests, cache_dir=args.cache_dir,
+        corpus_dir=args.corpus_dir)
+
+    done = 0
+
+    def progress(r: SeedResult) -> None:
+        nonlocal done
+        done += 1
+        if args.quiet:
+            return
+        flags = []
+        if r.optimism_divergent:
+            flags.append("caught" if r.optimism_caught else "UNCAUGHT")
+        if r.reduced_size:
+            flags.append(f"reduced {r.original_size}->{r.reduced_size}")
+        if not r.clean:
+            flags.append("FINDING: " + ", ".join(
+                f["kind"] for f in r.findings))
+        tag = f" [{'; '.join(flags)}]" if flags else ""
+        print(f"seed {r.seed:>6}: {done}/{args.seeds}"
+              f" ({r.elapsed:.2f}s){tag}", file=sys.stderr)
+
+    report = run_campaign(opts, progress=progress)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,96 @@
+"""The regression corpus: minimized reproducers under ``fuzz/corpus/``.
+
+Every reducer output the campaign decides to keep is written as a pair
+of files — ``<name>.c`` (the rendered minimal MiniC program, runnable by
+hand via a ``BenchmarkConfig``) and ``<name>.json`` (metadata: the seed,
+the finding kind, the config key that diverged, sizes before/after
+reduction).  ``tests/test_fuzz_corpus.py`` auto-collects the directory
+and replays every entry through the differential oracle on each tier-1
+pytest run, so a fixed bug stays fixed and a caught hazard stays caught.
+
+Entry kinds
+-----------
+``optimism-hazard``
+    the optimistic build diverges from O0 *by design* (a genuinely
+    dangerous no-alias answer); regression = the probing driver still
+    catches it and the pessimistic build still matches O0.
+``miscompile`` / ``invalidation-hash`` / ``reference-failure``
+    a genuine pipeline/VM bug, added together with its fix; regression =
+    the whole matrix agrees with O0 again.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from typing import List, Optional
+
+#: default corpus location, relative to the repository root
+DEFAULT_CORPUS_DIR = os.path.join("fuzz", "corpus")
+
+
+@dataclass
+class CorpusEntry:
+    name: str
+    seed: int
+    kind: str                  # "optimism-hazard" | "miscompile" | ...
+    config_key: str            # matrix key that diverged
+    detail: str = ""
+    hazard_calls: List[str] = field(default_factory=list)
+    original_size: int = 0
+    reduced_size: int = 0
+    reduction_trials: int = 0
+    source: str = ""           # filled on load; stored in the .c file
+
+    def meta(self) -> dict:
+        d = asdict(self)
+        d.pop("source")
+        return d
+
+
+def entry_name(kind: str, seed: int) -> str:
+    return f"{kind.replace('_', '-')}-{seed:06d}"
+
+
+def write_entry(entry: CorpusEntry,
+                corpus_dir: str = DEFAULT_CORPUS_DIR) -> str:
+    """Persist one minimized reproducer; returns the ``.c`` path."""
+    os.makedirs(corpus_dir, exist_ok=True)
+    c_path = os.path.join(corpus_dir, entry.name + ".c")
+    meta_path = os.path.join(corpus_dir, entry.name + ".json")
+    with open(c_path, "w") as f:
+        f.write(entry.source)
+    with open(meta_path, "w") as f:
+        json.dump(entry.meta(), f, indent=2, sort_keys=True)
+        f.write("\n")
+    return c_path
+
+
+def load_corpus(corpus_dir: str = DEFAULT_CORPUS_DIR) -> List[CorpusEntry]:
+    """Read every ``.c``/``.json`` pair; silently empty when missing."""
+    entries: List[CorpusEntry] = []
+    if not os.path.isdir(corpus_dir):
+        return entries
+    for fname in sorted(os.listdir(corpus_dir)):
+        if not fname.endswith(".json"):
+            continue
+        meta_path = os.path.join(corpus_dir, fname)
+        c_path = meta_path[:-len(".json")] + ".c"
+        if not os.path.exists(c_path):
+            continue
+        with open(meta_path) as f:
+            meta = json.load(f)
+        with open(c_path) as f:
+            source = f.read()
+        entries.append(CorpusEntry(source=source, **meta))
+    return entries
+
+
+def find_repo_corpus() -> Optional[str]:
+    """The checked-in corpus directory, located relative to this file
+    (``src/repro/fuzz/corpus.py`` → ``<root>/fuzz/corpus``)."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    root = os.path.dirname(os.path.dirname(os.path.dirname(here)))
+    path = os.path.join(root, "fuzz", "corpus")
+    return path if os.path.isdir(path) else None

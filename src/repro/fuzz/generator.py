@@ -1,0 +1,481 @@
+"""Seeded, grammar-aware random MiniC program generator.
+
+Every generated program is
+
+* **terminating** — every loop is counted with a constant trip count
+  (``for`` over literal bounds, ``while`` over an explicit counter), so
+  no decision sequence, optimization, or scheduling choice can make it
+  run forever;
+* **in-bounds by construction** — array accesses are affine in the loop
+  induction variable and the generator solves the bounds inequality when
+  it picks offsets and window lengths, so even a miscompiled index
+  computation is the *compiler's* fault, never the program's;
+* **deterministic** — output is produced by a single checksum epilogue
+  after all parallel regions have joined, and OpenMP bodies only touch
+  ``a[i]`` for their own ``i``, so any output difference between two
+  builds is a compilation difference.
+
+The aliasing surface — the point of the exercise — comes from helper
+functions taking pointer parameters that ``main`` calls with window
+arguments (``a + off``) that may or may not overlap.  *Hazard mode*
+additionally includes one call from a curated template family
+(accumulator-cell-in-window, scale-by-in-band-cell, shifted in-place
+copy — the shapes behind XSBench's real pessimistic queries) whose
+observable behaviour provably changes when its may-alias queries are
+answered ``no-alias``, giving the campaign's self-test a known-dangerous
+injection point.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..frontend.ast_nodes import (
+    Assign,
+    Binary,
+    Block,
+    Call,
+    CType,
+    DeclStmt,
+    Expr,
+    ExprStmt,
+    FloatLit,
+    For,
+    FunctionDef,
+    Ident,
+    If,
+    Index,
+    IntLit,
+    Param,
+    Return,
+    Stmt,
+    StrLit,
+    TranslationUnit,
+    Unary,
+    While,
+)
+from .render import ast_size, render_unit
+
+INT = CType("int")
+DOUBLE = CType("double")
+PDOUBLE = CType("double", pointers=1)
+
+
+def _iv(n: int) -> IntLit:
+    return IntLit(value=n)
+
+
+def _fv(x: float) -> FloatLit:
+    return FloatLit(value=float(x))
+
+
+def _id(name: str) -> Ident:
+    return Ident(name=name)
+
+
+def _bin(op: str, lhs: Expr, rhs: Expr) -> Binary:
+    return Binary(op=op, lhs=lhs, rhs=rhs)
+
+
+def _idx(base: Expr, index: Expr) -> Index:
+    return Index(base=base, index=index)
+
+
+def _set(target: Expr, value: Expr) -> ExprStmt:
+    return ExprStmt(expr=Assign(op="=", target=target, value=value))
+
+
+def _count_for(var: str, lo: int, hi: int, body: List[Stmt],
+               omp: bool = False) -> For:
+    """``for (int var = lo; var < hi; var++) { body }`` — the only loop
+    shape the generator emits, guaranteeing termination."""
+    return For(
+        init=DeclStmt(type=INT, name=var, init=_iv(lo)),
+        cond=_bin("<", _id(var), _iv(hi)),
+        step=Unary(op="p++", operand=_id(var)),
+        body=Block(statements=body),
+        omp_parallel=omp,
+    )
+
+
+@dataclass
+class GeneratorOptions:
+    """Knobs for one generated program."""
+
+    #: bias call-site windows towards overlap and always include one
+    #: known-divergent template call (the self-test's injection point)
+    hazard: bool = False
+    #: permit ``#pragma omp parallel for`` segments
+    allow_omp: bool = True
+    #: number of top-level body segments in ``main``
+    min_segments: int = 2
+    max_segments: int = 5
+    #: number of double arrays in ``main``
+    min_arrays: int = 2
+    max_arrays: int = 3
+
+
+@dataclass
+class GeneratedProgram:
+    seed: int
+    unit: TranslationUnit
+    source: str
+    #: hazard template calls included (empty outside hazard mode)
+    hazard_calls: List[str] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return ast_size(self.unit)
+
+
+# -- hazard template family --------------------------------------------------
+#
+# Each template is (name, FunctionDef factory, call-site factory).  The
+# call site receives the target array name and its size and must produce
+# a genuinely-overlapping argument pair — the overlap is what turns the
+# helper's may-alias queries into *dangerous* queries.
+
+def _tmpl_accum(name: str) -> FunctionDef:
+    """acc[0] sits inside the summed window: promoting ``acc[0]`` to a
+    register across the loop (legal only under no-alias) reads stale
+    values once the running total lands back inside ``x``."""
+    body = Block(statements=[
+        _set(_idx(_id("acc"), _iv(0)), _fv(0.0)),
+        _count_for("i", 0, 0, [  # trip count patched at the call site
+            _set(_idx(_id("acc"), _iv(0)),
+                 _bin("+", _idx(_id("acc"), _iv(0)),
+                      _idx(_id("x"), _id("i")))),
+        ]),
+    ])
+    return FunctionDef(ret=CType("void"), name=name,
+                       params=[Param(PDOUBLE, "x"), Param(PDOUBLE, "acc")],
+                       body=body)
+
+
+def _tmpl_scale(name: str) -> FunctionDef:
+    """``s[0]`` looks loop-invariant under no-alias, but the loop writes
+    through ``x`` into the cell ``s`` points at."""
+    body = Block(statements=[
+        _count_for("i", 0, 0, [
+            _set(_idx(_id("x"), _id("i")),
+                 _bin("+", _bin("*", _idx(_id("x"), _id("i")), _fv(0.5)),
+                      _idx(_id("s"), _iv(0)))),
+        ]),
+    ])
+    return FunctionDef(ret=CType("void"), name=name,
+                       params=[Param(PDOUBLE, "x"), Param(PDOUBLE, "s")],
+                       body=body)
+
+
+def _tmpl_shift(name: str) -> FunctionDef:
+    """In-place shifted copy: ``dst`` and ``src`` overlap at distance 1,
+    a loop-carried read-after-write that vectorization breaks if the
+    pointers are assumed not to alias."""
+    body = Block(statements=[
+        _count_for("i", 0, 0, [
+            _set(_idx(_id("dst"), _id("i")),
+                 _bin("+", _idx(_id("src"), _id("i")), _fv(1.0))),
+        ]),
+    ])
+    return FunctionDef(ret=CType("void"), name=name,
+                       params=[Param(PDOUBLE, "dst"), Param(PDOUBLE, "src")],
+                       body=body)
+
+
+def _patch_trip_count(fn: FunctionDef, n: int) -> None:
+    """Fix the template's loop bound to the call-site window length."""
+    for st in fn.body.statements:
+        if isinstance(st, For):
+            st.cond.rhs = _iv(n)
+
+
+_HAZARD_TEMPLATES = {
+    "accum_in_window": _tmpl_accum,
+    "scale_in_band": _tmpl_scale,
+    "shift_overlap": _tmpl_shift,
+}
+
+
+# -- the generator -----------------------------------------------------------
+
+class ProgramGenerator:
+    """One seeded program; all randomness flows from ``random.Random(seed)``."""
+
+    def __init__(self, seed: int, options: Optional[GeneratorOptions] = None):
+        self.seed = seed
+        self.opts = options or GeneratorOptions()
+        self.rng = random.Random(seed)
+        self.arrays: List[Tuple[str, int]] = []   # (name, size)
+        self.helpers: List[FunctionDef] = []
+        self.hazard_calls: List[str] = []
+        self._uniq = 0
+
+    def _fresh(self, prefix: str) -> str:
+        self._uniq += 1
+        return f"{prefix}{self._uniq}"
+
+    # -- expression helpers ------------------------------------------------
+    def _const(self) -> FloatLit:
+        """A contractive-ish constant: products through long statement
+        chains stay finite."""
+        return _fv(self.rng.choice(
+            [-1.25, -0.75, -0.5, -0.25, 0.125, 0.25, 0.5, 0.75, 1.0, 1.5]))
+
+    def _affine_of(self, var: str) -> Expr:
+        """``var * c + d`` seed values for array initialization."""
+        c = self.rng.choice([0.125, 0.25, 0.5, 0.75, 1.0])
+        d = self.rng.choice([-2.0, -1.0, 0.0, 1.0, 3.0])
+        return _bin("+", _bin("*", _id(var), _fv(c)), _fv(d))
+
+    def _mix(self, *reads: Expr) -> Expr:
+        """A random damped combination of the given reads."""
+        expr: Expr = _bin("*", reads[0], self._const())
+        for r in reads[1:]:
+            op = self.rng.choice(["+", "-", "+", "*"])
+            rhs = _bin("*", r, self._const()) if op != "*" else r
+            expr = _bin(op, expr, rhs) if op != "*" \
+                else _bin("+", _bin("*", expr, _fv(0.25)), rhs)
+        return _bin("+", _bin("*", expr, _fv(0.5)), self._const())
+
+    # -- helper functions ---------------------------------------------------
+    def _make_elementwise_helper(self) -> FunctionDef:
+        """``void hN(double* x, double* y, int n)`` mixing the two
+        windows, optionally mutating ``x`` in place as well."""
+        name = self._fresh("h")
+        stmts: List[Stmt] = [
+            _set(_idx(_id("y"), _id("i")),
+                 self._mix(_idx(_id("x"), _id("i")),
+                           _idx(_id("y"), _id("i")))),
+        ]
+        if self.rng.random() < 0.5:
+            stmts.append(_set(_idx(_id("x"), _id("i")),
+                              _bin("+", _bin("*", _idx(_id("x"), _id("i")),
+                                             _fv(0.5)), self._const())))
+        body = Block(statements=[_count_for("i", 0, 0, stmts)])
+        fn = FunctionDef(ret=CType("void"), name=name,
+                         params=[Param(PDOUBLE, "x"), Param(PDOUBLE, "y"),
+                                 Param(INT, "n")],
+                         body=body)
+        # the loop bound is the n parameter, not a literal
+        body.statements[0].cond.rhs = _id("n")
+        return fn
+
+    def _make_reduction_helper(self) -> FunctionDef:
+        """``double rN(double* x, int n)`` returning a damped sum."""
+        name = self._fresh("r")
+        loop = _count_for("i", 0, 0, [
+            _set(_id("t"), _bin("+", _bin("*", _id("t"), _fv(0.5)),
+                                _idx(_id("x"), _id("i")))),
+        ])
+        loop.cond.rhs = _id("n")
+        body = Block(statements=[
+            DeclStmt(type=DOUBLE, name="t", init=_fv(0.0)),
+            loop,
+            Return(value=_id("t")),
+        ])
+        return FunctionDef(ret=DOUBLE, name=name,
+                           params=[Param(PDOUBLE, "x"), Param(INT, "n")],
+                           body=body)
+
+    # -- main-body segments ---------------------------------------------------
+    def _pick_array(self) -> Tuple[str, int]:
+        return self.rng.choice(self.arrays)
+
+    def _window(self, size: int, min_len: int = 2) -> Tuple[int, int]:
+        """A random in-bounds (offset, length) window of an array."""
+        length = self.rng.randint(min_len, max(min_len, size - 1))
+        off = self.rng.randint(0, size - length)
+        return off, length
+
+    def _ptr_arg(self, name: str, off: int) -> Expr:
+        return _id(name) if off == 0 else _bin("+", _id(name), _iv(off))
+
+    def _seg_elementwise(self) -> List[Stmt]:
+        """A loop updating a window of one array from a window of
+        another (or the same) array, affine in-bounds indices."""
+        (dst, dsz) = self._pick_array()
+        (src, ssz) = self._pick_array()
+        length = self.rng.randint(2, min(dsz, ssz) - 1)
+        doff = self.rng.randint(0, dsz - length)
+        soff = self.rng.randint(0, ssz - length)
+        i = self._fresh("i")
+        read = _idx(_id(src), _bin("+", _id(i), _iv(soff))) \
+            if soff else _idx(_id(src), _id(i))
+        write = _idx(_id(dst), _bin("+", _id(i), _iv(doff))) \
+            if doff else _idx(_id(dst), _id(i))
+        return [_count_for(i, 0, length, [_set(write, self._mix(read, write))])]
+
+    def _seg_stencil(self) -> List[Stmt]:
+        """In-place sequentially-dependent sweep ``a[i] <- f(a[i], a[i-1])``."""
+        (arr, size) = self._pick_array()
+        i = self._fresh("i")
+        return [_count_for(i, 1, size, [
+            _set(_idx(_id(arr), _id(i)),
+                 self._mix(_idx(_id(arr), _id(i)),
+                           _idx(_id(arr), _bin("-", _id(i), _iv(1))))),
+        ])]
+
+    def _seg_branch(self) -> List[Stmt]:
+        """A data-dependent branch over a scalar accumulator."""
+        (arr, size) = self._pick_array()
+        k = self.rng.randint(0, size - 1)
+        cell = _idx(_id(arr), _iv(k))
+        then = Block(statements=[_set(cell, _bin("*", cell, _fv(0.5)))])
+        other = Block(statements=[
+            _set(cell, _bin("+", cell, self._const()))])
+        cond = _bin(self.rng.choice(["<", ">", "<=", ">="]),
+                    _idx(_id(arr), _iv(self.rng.randint(0, size - 1))),
+                    self._const())
+        return [If(cond=cond, then=then, other=other)]
+
+    def _seg_helper_call(self) -> List[Stmt]:
+        """Call an elementwise or reduction helper on windows that may
+        overlap (always overlapping in hazard mode half the time)."""
+        if not self.helpers or self.rng.random() < 0.4:
+            self.helpers.append(
+                self._make_reduction_helper() if self.rng.random() < 0.3
+                else self._make_elementwise_helper())
+        fn = self.rng.choice(self.helpers)
+        (arr, size) = self._pick_array()
+        if len(fn.params) == 2 and fn.params[1].type == INT:  # reduction
+            off, length = self._window(size)
+            call = Call(callee=fn.name,
+                        args=[self._ptr_arg(arr, off), _iv(length)])
+            cell = _idx(_id(arr), _iv(self.rng.randint(0, size - 1)))
+            return [_set(cell, _bin("+", _bin("*", cell, _fv(0.5)), call))]
+        # elementwise: choose two windows over the same or different arrays
+        overlap = self.rng.random() < (0.7 if self.opts.hazard else 0.35)
+        xoff, length = self._window(size, min_len=3)
+        if overlap:
+            yoff = min(size - length,
+                       max(0, xoff + self.rng.choice([-2, -1, 1, 2])))
+            yarr = arr
+        else:
+            (yarr, ysz) = self._pick_array()
+            length = min(length, ysz)
+            yoff = self.rng.randint(0, ysz - length)
+        return [ExprStmt(expr=Call(callee=fn.name, args=[
+            self._ptr_arg(arr, xoff), self._ptr_arg(yarr, yoff),
+            _iv(length)]))]
+
+    def _seg_omp(self) -> List[Stmt]:
+        """A parallel loop where iteration ``i`` touches only index
+        ``i`` — deterministic under any chunking."""
+        (arr, size) = self._pick_array()
+        i = self._fresh("i")
+        body = _set(_idx(_id(arr), _id(i)),
+                    _bin("+", _bin("*", _idx(_id(arr), _id(i)), self._const()),
+                         _bin("*", _id(i), _fv(0.125))))
+        return [_count_for(i, 0, size, [body], omp=True)]
+
+    def _seg_ptr_view(self) -> List[Stmt]:
+        """A named pointer into the middle of an array, walked by a
+        bounded while loop."""
+        (arr, size) = self._pick_array()
+        off, length = self._window(size)
+        p = self._fresh("p")
+        t = self._fresh("t")
+        walk = Block(statements=[
+            _set(_idx(_id(p), _id(t)),
+                 _bin("+", _bin("*", _idx(_id(p), _id(t)), _fv(0.75)),
+                      self._const())),
+            _set(_id(t), _bin("+", _id(t), _iv(1))),
+        ])
+        return [
+            DeclStmt(type=PDOUBLE, name=p,
+                     init=self._ptr_arg(arr, off)),
+            DeclStmt(type=INT, name=t, init=_iv(0)),
+            While(cond=_bin("<", _id(t), _iv(length)), body=walk),
+        ]
+
+    def _seg_hazard_call(self) -> List[Stmt]:
+        """One call from the curated known-divergent template family."""
+        tname = self.rng.choice(sorted(_HAZARD_TEMPLATES))
+        fname = self._fresh("hz")
+        fn = _HAZARD_TEMPLATES[tname](fname)
+        (arr, size) = self._pick_array()
+        if tname == "accum_in_window":
+            # sum x[0..n) into acc = &x[n-1]: the total lands in-window
+            n = self.rng.randint(4, size - 1)
+            _patch_trip_count(fn, n)
+            args = [self._ptr_arg(arr, 0), self._ptr_arg(arr, n - 1)]
+        elif tname == "scale_in_band":
+            # s points at a cell the loop writes
+            n = self.rng.randint(4, size - 1)
+            _patch_trip_count(fn, n)
+            args = [self._ptr_arg(arr, 0),
+                    self._ptr_arg(arr, self.rng.randint(1, n - 1))]
+        else:  # shift_overlap: dst = x+1 overlaps src = x
+            n = self.rng.randint(4, size - 1)
+            _patch_trip_count(fn, n)
+            args = [self._ptr_arg(arr, 1), self._ptr_arg(arr, 0)]
+        self.helpers.append(fn)
+        self.hazard_calls.append(tname)
+        return [ExprStmt(expr=Call(callee=fname, args=args))]
+
+    # -- assembly -----------------------------------------------------------
+    def generate(self) -> GeneratedProgram:
+        opts = self.opts
+        rng = self.rng
+        n_arrays = rng.randint(opts.min_arrays, opts.max_arrays)
+        main_stmts: List[Stmt] = []
+        for a in range(n_arrays):
+            name = f"a{a}"
+            size = rng.randint(8, 20)
+            self.arrays.append((name, size))
+            main_stmts.append(DeclStmt(
+                type=CType("double", array_dims=(size,)), name=name))
+            i = self._fresh("i")
+            main_stmts.append(_count_for(i, 0, size, [
+                _set(_idx(_id(name), _id(i)), self._affine_of(i))]))
+
+        segments = [self._seg_elementwise, self._seg_stencil,
+                    self._seg_branch, self._seg_helper_call,
+                    self._seg_helper_call, self._seg_ptr_view]
+        if opts.allow_omp:
+            segments.append(self._seg_omp)
+        n_segs = rng.randint(opts.min_segments, opts.max_segments)
+        for _ in range(n_segs):
+            main_stmts.extend(rng.choice(segments)())
+        if opts.hazard:
+            # the self-test's injection point, at a random position after
+            # initialization so surrounding segments interact with it
+            pos = rng.randint(2 * n_arrays, len(main_stmts))
+            haz = self._seg_hazard_call()
+            main_stmts[pos:pos] = haz
+
+        # checksum epilogue: one %.6f per array plus an alternating-sign
+        # total, printed once after every region has joined
+        chk_args: List[Expr] = []
+        fmt = []
+        for name, size in self.arrays:
+            acc = self._fresh("c")
+            i = self._fresh("i")
+            main_stmts.append(DeclStmt(type=DOUBLE, name=acc, init=_fv(0.0)))
+            main_stmts.append(_count_for(i, 0, size, [
+                _set(_id(acc), _bin("+", _id(acc),
+                                    _bin("*", _idx(_id(name), _id(i)),
+                                         _fv(1.0))))]))
+            fmt.append("%.6f")
+            chk_args.append(_id(acc))
+            fmt.append("%.6f")
+            chk_args.append(_idx(_id(name), _iv(size - 1)))
+        main_stmts.append(ExprStmt(expr=Call(
+            callee="printf",
+            args=[StrLit(value=" ".join(fmt) + "\n")] + chk_args)))
+        main_stmts.append(Return(value=_iv(0)))
+
+        main = FunctionDef(ret=INT, name="main", params=[],
+                           body=Block(statements=main_stmts))
+        unit = TranslationUnit(name=f"fuzz-{self.seed}",
+                               functions=self.helpers + [main])
+        return GeneratedProgram(self.seed, unit, render_unit(unit),
+                                hazard_calls=list(self.hazard_calls))
+
+
+def generate_program(seed: int,
+                     options: Optional[GeneratorOptions] = None
+                     ) -> GeneratedProgram:
+    return ProgramGenerator(seed, options).generate()

@@ -1,0 +1,87 @@
+"""Unit tests for the interpreter cycle cost model (§V-A / §V-C)."""
+
+import pytest
+
+from repro.vm.cost_model import (
+    CostModel,
+    DEFAULT_COSTS,
+    INTRINSIC_COSTS,
+    occupancy_factor,
+)
+
+
+class TestDefaultTables:
+    def test_every_default_cost_is_positive_or_free(self):
+        for op, cost in DEFAULT_COSTS.items():
+            assert cost >= 0.0, op
+
+    def test_memory_ops_cost_more_than_register_ops(self):
+        assert DEFAULT_COSTS["load"] > DEFAULT_COSTS["add"]
+        assert DEFAULT_COSTS["store"] > DEFAULT_COSTS["add"]
+
+    def test_division_is_the_expensive_integer_op(self):
+        for op in ("add", "sub", "mul", "and", "or", "xor", "shl"):
+            assert DEFAULT_COSTS["sdiv"] > DEFAULT_COSTS[op]
+
+    def test_fp_ops_cost_at_least_their_integer_counterparts(self):
+        assert DEFAULT_COSTS["fadd"] >= DEFAULT_COSTS["add"]
+        assert DEFAULT_COSTS["fmul"] >= DEFAULT_COSTS["mul"]
+
+    def test_phi_is_free(self):
+        # phis are resolved by copies counted at lowering time
+        assert DEFAULT_COSTS["phi"] == 0.0
+
+    def test_intrinsic_table_covers_the_math_library(self):
+        for name in ("sqrt", "exp", "log", "pow", "sin", "cos", "fabs"):
+            assert name in INTRINSIC_COSTS
+
+
+class TestCostModel:
+    def test_of_known_opcode(self):
+        cm = CostModel()
+        assert cm.of("load") == DEFAULT_COSTS["load"]
+        assert cm.of("fdiv") == DEFAULT_COSTS["fdiv"]
+
+    def test_of_unknown_opcode_defaults_to_one_cycle(self):
+        assert CostModel().of("some-new-opcode") == 1.0
+
+    def test_of_intrinsic_known_and_unknown(self):
+        cm = CostModel()
+        assert cm.of_intrinsic("sqrt") == INTRINSIC_COSTS["sqrt"]
+        assert cm.of_intrinsic("erfc") == 10.0
+
+    def test_instances_do_not_share_tables(self):
+        a, b = CostModel(), CostModel()
+        a.costs["load"] = 99.0
+        a.intrinsic_costs["sqrt"] = 99.0
+        assert b.of("load") == DEFAULT_COSTS["load"]
+        assert b.of_intrinsic("sqrt") == INTRINSIC_COSTS["sqrt"]
+        assert DEFAULT_COSTS["load"] != 99.0
+
+    def test_custom_table_override(self):
+        cm = CostModel(costs={"load": 2.0})
+        assert cm.of("load") == 2.0
+        assert cm.of("store") == 1.0  # fallback for missing entries
+
+
+class TestOccupancyFactor:
+    def test_no_penalty_at_or_below_32_registers(self):
+        assert occupancy_factor(0) == 1.0
+        assert occupancy_factor(32) == 1.0
+
+    def test_monotone_non_decreasing_in_register_pressure(self):
+        factors = [occupancy_factor(r) for r in range(0, 300)]
+        assert factors == sorted(factors)
+
+    @pytest.mark.parametrize("regs,expected", [
+        (33, 1.08), (64, 1.08),     # first cliff
+        (65, 1.38), (96, 1.38),
+        (97, 1.48), (128, 1.48),
+        (129, 1.58), (168, 1.58),
+        (169, 1.75), (255, 1.75),   # saturation
+    ])
+    def test_cliff_boundaries(self, regs, expected):
+        assert occupancy_factor(regs) == expected
+
+    def test_penalty_saturates(self):
+        assert occupancy_factor(10_000) == occupancy_factor(169)

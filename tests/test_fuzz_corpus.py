@@ -1,0 +1,62 @@
+"""Replay the checked-in fuzz corpus (``fuzz/corpus/``) on every tier-1
+run, so a fixed bug stays fixed and a caught hazard stays caught.
+
+Each corpus entry is a minimized reproducer written by the campaign's
+delta-debugging reducer (see ``repro.fuzz.corpus`` for the format).
+Regression semantics depend on the entry kind:
+
+* ``optimism-hazard`` — the divergence is *by design* (a genuinely
+  dangerous no-alias answer).  Regression: the pessimistic build still
+  matches O0, the all-optimistic build still diverges, and the probing
+  driver's bisection still pins it to a non-empty pessimistic set.
+* anything else (``miscompile``, ``invalidation-hash``,
+  ``reference-failure``) — a genuine bug checked in together with its
+  fix.  Regression: the whole config matrix agrees with O0 again.
+"""
+
+import pytest
+
+from repro.fuzz.corpus import find_repo_corpus, load_corpus
+from repro.fuzz.oracle import DifferentialOracle
+from repro.fuzz.render import ast_size
+from repro.frontend import parse
+
+_corpus_dir = find_repo_corpus()
+ENTRIES = load_corpus(_corpus_dir) if _corpus_dir else []
+
+
+def _ids():
+    return [e.name for e in ENTRIES]
+
+
+@pytest.mark.skipif(not ENTRIES, reason="no checked-in fuzz corpus")
+def test_corpus_directory_is_complete():
+    for e in ENTRIES:
+        assert e.source, e.name
+        assert e.kind, e.name
+
+
+@pytest.mark.parametrize("entry", ENTRIES, ids=_ids())
+def test_corpus_entry_replays(entry):
+    oracle = DifferentialOracle()
+    res = oracle.check(entry.seed, entry.source)
+    if entry.kind == "optimism-hazard":
+        # the hazard must still be dangerous — and still be caught
+        assert res.optimism_divergent, \
+            f"{entry.name}: hazard no longer diverges optimistically"
+        assert res.pessimistic_indices, \
+            f"{entry.name}: bisection no longer explains the divergence"
+        assert res.outcomes["pessimistic"] == "match", \
+            f"{entry.name}: pessimistic build no longer matches O0"
+        assert res.clean, f"{entry.name}: {res.findings}"
+    else:
+        # a fixed bug: every config must agree with the O0 reference
+        assert res.clean, f"{entry.name}: {res.findings}"
+        assert not res.optimism_divergent or res.pessimistic_indices
+
+
+@pytest.mark.parametrize("entry", ENTRIES, ids=_ids())
+def test_corpus_entry_is_minimal_and_parseable(entry):
+    unit = parse(entry.source, filename=entry.name + ".c")
+    assert ast_size(unit) == entry.reduced_size
+    assert entry.reduced_size <= entry.original_size

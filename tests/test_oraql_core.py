@@ -214,3 +214,91 @@ class TestVerificationScript:
         msg = v.explain(RunResult("abcxef\n", "done"))
         assert "mismatch" in msg
         assert "ok" == v.explain(RunResult("abcdef\n", "done"))
+
+
+# -- property-based tests (hypothesis) ----------------------------------------
+
+bit_lists = st.lists(st.integers(min_value=0, max_value=1), max_size=200)
+
+
+class TestDecisionSequenceProperties:
+    """Round-trip and bisection-split invariants for DecisionSequence."""
+
+    @given(bit_lists)
+    def test_text_roundtrip(self, bits):
+        s = DecisionSequence(bits)
+        assert DecisionSequence.from_text(s.to_text()) == s
+
+    @given(bit_lists)
+    def test_argument_roundtrip_inline(self, bits):
+        with DecisionSequence(bits) as s:
+            arg = s.to_argument(arg_max=10 ** 9)
+            assert not arg.startswith("-opt-aa-seq=@")
+            assert DecisionSequence.from_argument(arg) == s
+
+    @given(st.lists(st.integers(min_value=0, max_value=1),
+                    min_size=1, max_size=200))
+    def test_argument_roundtrip_response_file(self, tmp_path_factory, bits):
+        # arg_max=0 forces @file transport regardless of length
+        tmp = str(tmp_path_factory.mktemp("seq"))
+        with DecisionSequence(bits) as s:
+            arg = s.to_argument(workdir=tmp, arg_max=0)
+            assert arg.startswith("-opt-aa-seq=@")
+            assert DecisionSequence.from_argument(arg) == s
+            path = arg[len("-opt-aa-seq=@"):]
+            assert os.path.exists(path)
+        assert not os.path.exists(path)  # context exit cleans up
+
+    @given(bit_lists, st.integers(min_value=0, max_value=20))
+    def test_next_replays_bits_then_goes_optimistic(self, bits, extra):
+        s = DecisionSequence(bits)
+        answers = [s.next() for _ in range(len(bits) + extra)]
+        assert answers[:len(bits)] == [bool(b) for b in bits]
+        assert all(answers[len(bits):])  # past the end: no-alias
+        assert s.consumed == len(bits) + extra
+        s.reset()
+        assert s.consumed == 0
+
+    @given(st.sets(st.integers(min_value=0, max_value=100)))
+    def test_pessimistic_set_roundtrip(self, pess):
+        s = sequence_from_pessimistic_set(pess)
+        assert len(s) == (max(pess) + 1 if pess else 0)
+        recovered = {i for i, b in enumerate(s.bits) if b == 0}
+        assert recovered == pess
+
+    @given(st.sets(st.integers(min_value=0, max_value=50)),
+           st.integers(min_value=0, max_value=80))
+    def test_pessimistic_set_with_explicit_length(self, pess, length):
+        s = sequence_from_pessimistic_set(pess, length=length)
+        assert len(s) == length
+        assert {i for i, b in enumerate(s.bits) if b == 0} \
+            == {i for i in pess if i < length}
+
+    @given(bit_lists, st.data())
+    def test_bisection_split_invariants(self, decided, data):
+        # mirror of ProbingDriver._probe_chunked's candidate builder:
+        # g(k) keeps the decided prefix, answers the next k queries
+        # optimistically, and pads the rest (+ TAIL_PAD) pessimistically
+        from repro.oraql.driver import ProbingDriver
+
+        span = data.draw(st.integers(min_value=1, max_value=30))
+        pad = ProbingDriver.TAIL_PAD
+
+        def g_bits(k):
+            return decided + [1] * k + [0] * (span - k + pad)
+
+        k1 = data.draw(st.integers(min_value=0, max_value=span))
+        k2 = data.draw(st.integers(min_value=k1, max_value=span))
+        s1, s2 = DecisionSequence(g_bits(k1)), DecisionSequence(g_bits(k2))
+        # every candidate covers the whole span plus the safety tail
+        assert len(s1) == len(decided) + span + pad
+        # prefix stability: raising k only flips 0s to 1s after the
+        # shared prefix, never touches decided answers
+        assert s1.bits[:len(decided)] == s2.bits[:len(decided)] == \
+            [1 if b else 0 for b in decided]
+        assert s1.bits[:len(decided) + k1] == s2.bits[:len(decided) + k1]
+        # monotone: the k2 candidate is at least as optimistic
+        assert sum(s1.bits) <= sum(s2.bits)
+        # k = 0 answers the whole span pessimistically
+        s0 = DecisionSequence(g_bits(0))
+        assert all(b == 0 for b in s0.bits[len(decided):])

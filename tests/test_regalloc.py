@@ -1,0 +1,92 @@
+"""Unit tests for linear-scan register allocation (Fig. 6 spill counts)."""
+
+from repro.codegen.lowering import LiveInterval, LoweredFunction
+from repro.codegen.regalloc import (
+    AllocationResult,
+    DEFAULT_REGS,
+    gpu_pressure,
+    linear_scan,
+)
+from repro.ir.types import F64, I8, I64
+from repro.ir.values import Value
+
+
+def _lowered(intervals):
+    return LoweredFunction(function=None, machine_insts=0,
+                           intervals=intervals, positions={},
+                           frame_bytes=0, phi_copies=0)
+
+
+def _iv(start, end, cls="int", width=1, ty=None):
+    if ty is None:
+        ty = I64 if cls == "int" else F64
+    return LiveInterval(value=Value(ty, f"v{start}_{end}"),
+                        start=start, end=end, cls=cls, width=width)
+
+
+class TestLinearScan:
+    def test_empty_function_has_no_spills(self):
+        res = linear_scan(_lowered([]))
+        assert res == AllocationResult(0, 0, {"int": 0, "fp": 0})
+
+    def test_default_register_file(self):
+        assert DEFAULT_REGS == {"int": 14, "fp": 16}
+
+    def test_disjoint_intervals_reuse_one_register(self):
+        ivs = [_iv(0, 1), _iv(2, 3), _iv(4, 5), _iv(6, 7)]
+        res = linear_scan(_lowered(ivs), regs={"int": 1})
+        assert res.spills == 0
+        assert res.max_pressure["int"] == 1
+
+    def test_overflow_spills_and_counts_pressure(self):
+        # three intervals alive at once, two registers
+        ivs = [_iv(0, 10), _iv(1, 9), _iv(2, 8)]
+        res = linear_scan(_lowered(ivs), regs={"int": 2})
+        assert res.spills == 1
+        assert res.max_pressure["int"] == 3
+
+    def test_victim_is_furthest_ending_interval(self):
+        # the classic heuristic: spilling the furthest end frees the
+        # register for the longest time, so adding a short fourth
+        # interval after the spill causes no further spill
+        ivs = [_iv(0, 100), _iv(1, 10), _iv(2, 9), _iv(11, 12)]
+        res = linear_scan(_lowered(ivs), regs={"int": 2})
+        assert res.spills == 1
+
+    def test_spill_bytes_floor_is_eight(self):
+        ivs = [_iv(0, 10, ty=I8), _iv(1, 10, ty=I8)]
+        res = linear_scan(_lowered(ivs), regs={"int": 1})
+        assert res.spills == 1
+        assert res.spill_bytes == 8  # max(8, sizeof(i8))
+
+    def test_register_classes_are_independent(self):
+        # 2 int + 2 fp alive simultaneously; one register each class
+        ivs = [_iv(0, 10, "int"), _iv(0, 10, "fp"),
+               _iv(1, 9, "int"), _iv(1, 9, "fp")]
+        res = linear_scan(_lowered(ivs), regs={"int": 1, "fp": 1})
+        assert res.spills == 2
+        assert res.max_pressure == {"int": 2, "fp": 2}
+
+    def test_no_spill_under_default_register_file(self):
+        ivs = [_iv(0, 20) for _ in range(14)]
+        res = linear_scan(_lowered(ivs))
+        assert res.spills == 0
+        assert res.max_pressure["int"] == 14
+
+
+class TestGpuPressure:
+    def test_fixed_overhead_registers(self):
+        assert gpu_pressure(_lowered([])) == 8
+
+    def test_width_weighted_peak(self):
+        # two overlapping vector values, two 32-bit registers each
+        ivs = [_iv(0, 10, width=2), _iv(1, 9, width=2)]
+        assert gpu_pressure(_lowered(ivs)) == 4 + 8
+
+    def test_disjoint_intervals_do_not_stack(self):
+        ivs = [_iv(0, 1, width=3), _iv(5, 6, width=3)]
+        assert gpu_pressure(_lowered(ivs)) == 3 + 8
+
+    def test_saturates_at_255(self):
+        ivs = [_iv(0, 10, width=500)]
+        assert gpu_pressure(_lowered(ivs)) == 255
