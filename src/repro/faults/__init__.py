@@ -1,0 +1,30 @@
+"""repro.faults — deterministic fault injection for the probing runtime.
+
+The injector (:mod:`repro.faults.injector`) plants seeded faults at
+exact probe indices; the chaos harness (:mod:`repro.faults.chaos`,
+``python -m repro.fuzz --chaos``) asserts every injected fault is either
+recovered from or reported with correct triage, and that final probing
+reports under injection match fault-free runs.
+
+:mod:`repro.faults.chaos` is imported lazily (it depends on
+``repro.oraql``, which itself consults the injector) — reach it as
+``from repro.faults import chaos``.
+"""
+
+from .injector import (
+    FAULT_KINDS,
+    SITE_OF,
+    FaultInjector,
+    FaultSpec,
+    InjectedCompilerError,
+    SessionKilled,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "SITE_OF",
+    "FaultInjector",
+    "FaultSpec",
+    "InjectedCompilerError",
+    "SessionKilled",
+]

@@ -7,10 +7,14 @@ Examples::
     python -m repro.fuzz --seeds 10000 --jobs 8 --time-budget 1800 \\
         --cache-dir .fuzz-cache
     python -m repro.fuzz --seeds 50 --corpus-dir fuzz/corpus --self-test
+    python -m repro.fuzz --chaos --chaos-injections 200 --jobs 4
 
 Exit status is 0 when the campaign found no unexplained divergences
 (and, under ``--self-test``, every injected-unsound sequence was caught
-and shrunk), 1 otherwise.
+and shrunk), 1 otherwise.  Under ``--chaos`` the campaign instead
+injects deterministic faults (compiler crashes, hangs, traps, session
+kills, cache/journal truncation) into probing sessions and exits 0 only
+when every fault was recovered from or reported with correct triage.
 """
 
 from __future__ import annotations
@@ -63,9 +67,59 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--corpus-dir", metavar="DIR",
                    help="write minimized reproducers here "
                         "(fuzz/corpus is the checked-in regression set)")
+    p.add_argument("--chaos", action="store_true",
+                   help="run a fault-injection campaign instead of "
+                        "differential fuzzing: seeded faults are planted "
+                        "in probing sessions and every one must be "
+                        "recovered or reported with correct triage")
+    p.add_argument("--chaos-injections", type=int, default=64, metavar="N",
+                   help="number of fault injections under --chaos "
+                        "(default 64)")
+    p.add_argument("--chaos-kinds", metavar="K1,K2,...",
+                   help="comma-separated fault kinds to cycle through "
+                        "under --chaos (default: all non-worker kinds)")
     p.add_argument("--quiet", "-q", action="store_true",
                    help="suppress per-seed progress lines")
     return p
+
+
+def _run_chaos(args: argparse.Namespace,
+               parser: argparse.ArgumentParser) -> int:
+    from ..faults.chaos import (
+        DEFAULT_CHAOS_KINDS,
+        ChaosOptions,
+        InjectionResult,
+        run_chaos,
+    )
+
+    kinds = DEFAULT_CHAOS_KINDS
+    if args.chaos_kinds:
+        kinds = tuple(k.strip() for k in args.chaos_kinds.split(",")
+                      if k.strip())
+        unknown = sorted(set(kinds) - set(DEFAULT_CHAOS_KINDS))
+        if unknown:
+            parser.error(f"--chaos-kinds: unknown fault kind(s) "
+                         f"{', '.join(unknown)} (choose from "
+                         f"{', '.join(DEFAULT_CHAOS_KINDS)})")
+    opts = ChaosOptions(injections=args.chaos_injections,
+                        seed_start=args.seed_start, jobs=args.jobs,
+                        kinds=kinds, time_budget=args.time_budget)
+
+    done = 0
+
+    def progress(r: InjectionResult) -> None:
+        nonlocal done
+        done += 1
+        if args.quiet:
+            return
+        tag = r.outcome.upper() if not r.ok else r.outcome
+        print(f"seed {r.seed:>6}: {done}/{opts.injections} "
+              f"{r.kind}@{r.at} on {r.workload}/{r.strategy}: {tag} "
+              f"({r.elapsed:.2f}s)", file=sys.stderr)
+
+    report = run_chaos(opts, progress=progress)
+    print(report.render())
+    return 0 if report.ok else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -80,6 +134,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.cache_dir and os.path.exists(args.cache_dir) \
             and not os.path.isdir(args.cache_dir):
         parser.error(f"--cache-dir is not a directory: {args.cache_dir}")
+    if args.chaos_injections < 1:
+        parser.error(f"--chaos-injections must be >= 1 "
+                     f"(got {args.chaos_injections})")
+
+    if args.chaos:
+        return _run_chaos(args, parser)
 
     opts = CampaignOptions(
         seeds=args.seeds, seed_start=args.seed_start, jobs=args.jobs,

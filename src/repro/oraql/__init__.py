@@ -9,8 +9,10 @@ from .driver import (
     ProbingDriver,
     ProbingReport,
     TestBudgetExhausted,
-    TestOutcome,
 )
+from .errors import FlakyConfigError, JournalError, ProbingError
+from .executor import ExecutorPolicy, TestExecutor, TestOutcome
+from .journal import JOURNAL_SCHEMA_VERSION, SessionJournal
 from .override import ChainValueReport, OraqlOverridePass, measure_chain_value
 from .parallel import ParallelProbingDriver, SpeculativeProbingDriver
 from .pass_ import DumpFlags, OraqlAAPass, QueryRecord
@@ -21,6 +23,11 @@ from .sequence import (
     all_optimistic,
     sequence_from_pessimistic_set,
 )
-from .verify import RunResult, VerificationScript
+from .verify import (
+    TRIAGE_CLASSES,
+    RunResult,
+    VerificationScript,
+    triage_run,
+)
 
 __all__ = [name for name in dir() if not name.startswith("_")]

@@ -24,7 +24,16 @@ Storage is append-only JSON-lines: one ``{"v": ..., "key": ...,
 "ok": ...}`` record per line.  Appends of a single short line are
 atomic enough for concurrent writers on POSIX (each worker of the
 parallel engine opens the file in append mode and writes one line per
-verdict); torn or foreign lines are skipped on load.
+verdict).
+
+Robustness: a shared mutable file on a fleet *will* get torn appends,
+truncated tails, and bit rot.  New records therefore carry a CRC-32 of
+their canonical serialization; on load, undecodable lines, CRC
+mismatches, and malformed records are skipped and counted
+(:attr:`VerdictCache.corrupt_records`) — never trusted, never fatal.
+``OSError`` during load/refresh degrades to an empty view instead of
+killing the probing session, and :meth:`VerdictCache.compact` rewrites
+the append log to one valid record per key (atomic rename).
 """
 
 from __future__ import annotations
@@ -32,7 +41,9 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from typing import Dict, Optional
+import tempfile
+import zlib
+from typing import Dict, Optional, Tuple
 
 from .config import BenchmarkConfig
 
@@ -57,15 +68,27 @@ def config_fingerprint(config: BenchmarkConfig) -> str:
     return h.hexdigest()[:16]
 
 
+def _record_crc(rec: dict) -> int:
+    canon = json.dumps(rec, sort_keys=True, separators=(",", ":"))
+    return zlib.crc32(canon.encode())
+
+
 class VerdictCache:
     """On-disk test-verdict store shared across configs and restarts."""
 
     def __init__(self, cache_dir: str, filename: str = CACHE_FILENAME):
         self.cache_dir = cache_dir
         self.path = os.path.join(cache_dir, filename)
-        self._mem: Dict[str, bool] = {}
+        #: key -> (ok, triage or None)
+        self._mem: Dict[str, Tuple[bool, Optional[str]]] = {}
         self.hits = 0
         self.misses = 0
+        #: undecodable / CRC-failed / malformed lines skipped on load
+        self.corrupt_records = 0
+        #: appends lost to OSError (the session keeps going)
+        self.dropped_writes = 0
+        #: load/refresh attempts that failed wholesale with OSError
+        self.load_errors = 0
         os.makedirs(cache_dir, exist_ok=True)
         self._load()
 
@@ -73,47 +96,132 @@ class VerdictCache:
     def _load(self) -> None:
         if not os.path.exists(self.path):
             return
-        with open(self.path, "r") as f:
-            for line in f:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    rec = json.loads(line)
-                except ValueError:
-                    continue  # torn concurrent write; skip
-                if not isinstance(rec, dict) \
-                        or rec.get("v") != CACHE_SCHEMA_VERSION:
-                    continue
-                key, ok = rec.get("key"), rec.get("ok")
-                if isinstance(key, str) and isinstance(ok, bool):
-                    self._mem[key] = ok
+        self.corrupt_records = 0
+        try:
+            with open(self.path, "r") as f:
+                for line in f:
+                    self._ingest_line(line)
+        except OSError:
+            # an unreadable cache is a cold cache, not a crash
+            self.load_errors += 1
+
+    def _ingest_line(self, line: str) -> None:
+        line = line.strip()
+        if not line:
+            return
+        try:
+            rec = json.loads(line)
+        except ValueError:
+            # torn concurrent write or truncated final line
+            self.corrupt_records += 1
+            return
+        if not isinstance(rec, dict):
+            self.corrupt_records += 1
+            return
+        if rec.get("v") != CACHE_SCHEMA_VERSION:
+            return  # foreign schema: ignored, not corrupt
+        crc = rec.pop("crc", None)
+        if crc is not None and crc != _record_crc(rec):
+            self.corrupt_records += 1
+            return
+        key, ok = rec.get("key"), rec.get("ok")
+        if isinstance(key, str) and isinstance(ok, bool):
+            triage = rec.get("triage")
+            self._mem[key] = (ok, triage if isinstance(triage, str)
+                              else None)
+        else:
+            self.corrupt_records += 1
 
     def refresh(self) -> None:
         """Re-read records other processes appended since the load."""
         self._load()
+
+    def compact(self) -> Tuple[int, int]:
+        """Rewrite the append log to one valid record per key.
+
+        Drops superseded duplicates, corrupt lines, and foreign-schema
+        records; the replacement is atomic (write-temp + rename), so
+        concurrent readers see either the old or the new file, never a
+        partial one.  Returns ``(lines_before, lines_after)``."""
+        self.refresh()
+        before = 0
+        if os.path.exists(self.path):
+            try:
+                with open(self.path, "r") as f:
+                    before = sum(1 for _ in f)
+            except OSError:
+                self.load_errors += 1
+        fd, tmp = tempfile.mkstemp(dir=self.cache_dir,
+                                   prefix=".verdicts-compact-")
+        try:
+            with os.fdopen(fd, "w") as f:
+                for key in sorted(self._mem):
+                    ok, triage = self._mem[key]
+                    f.write(self._encode(key, ok, triage) + "\n")
+                f.flush()
+                os.fsync(f.fileno())
+            os.replace(tmp, self.path)
+        except OSError:
+            self.dropped_writes += 1
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+        self.corrupt_records = 0
+        return before, len(self._mem)
 
     # -- the cache interface ---------------------------------------------
     @staticmethod
     def key(fingerprint: str, exe_hash: str) -> str:
         return f"{fingerprint}:{exe_hash}"
 
-    def get(self, key: str) -> Optional[bool]:
-        verdict = self._mem.get(key)
-        if verdict is None:
-            self.misses += 1
-        else:
-            self.hits += 1
-        return verdict
+    @staticmethod
+    def _encode(key: str, ok: bool, triage: Optional[str] = None) -> str:
+        rec = {"v": CACHE_SCHEMA_VERSION, "key": key, "ok": ok}
+        if triage is not None:
+            rec["triage"] = triage
+        rec["crc"] = _record_crc(rec)
+        return json.dumps(rec, sort_keys=True, separators=(",", ":"))
 
-    def put(self, key: str, ok: bool) -> None:
-        if self._mem.get(key) == ok:
+    def get(self, key: str) -> Optional[bool]:
+        entry = self._mem.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry[0]
+
+    def get_record(self, key: str) -> Optional[Tuple[bool, Optional[str]]]:
+        """Like :meth:`get` but returns ``(ok, triage-or-None)``."""
+        entry = self._mem.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def put(self, key: str, ok: bool, triage: Optional[str] = None) -> None:
+        prev = self._mem.get(key)
+        if prev is not None and prev[0] == ok \
+                and (triage is None or prev[1] == triage):
             return
-        self._mem[key] = ok
-        rec = json.dumps({"v": CACHE_SCHEMA_VERSION, "key": key, "ok": ok},
-                         separators=(",", ":"))
-        with open(self.path, "a") as f:
-            f.write(rec + "\n")
+        self._mem[key] = (ok, triage)
+        try:
+            with open(self.path, "a") as f:
+                f.write(self._encode(key, ok, triage) + "\n")
+        except OSError:
+            # a full/readonly disk must not kill the probing session;
+            # the verdict just isn't shared
+            self.dropped_writes += 1
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "records": len(self._mem),
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt_records": self.corrupt_records,
+            "dropped_writes": self.dropped_writes,
+            "load_errors": self.load_errors,
+        }
 
     def __len__(self) -> int:
         return len(self._mem)

@@ -58,6 +58,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", metavar="DIR",
                    help="directory for the persistent verdict cache, "
                         "shared across configs, strategies, and runs")
+    p.add_argument("--compact-cache", action="store_true",
+                   help="compact the verdict cache under --cache-dir "
+                        "(drop superseded/corrupt records) and exit")
+    p.add_argument("--journal", metavar="DIR",
+                   help="directory for append-only session journals; "
+                        "every probe verdict is checkpointed so a "
+                        "killed session can be resumed with --resume")
+    p.add_argument("--resume", action="store_true",
+                   help="replay the session journal under --journal "
+                        "before probing: the resumed session retraces "
+                        "the interrupted one bit-identically, serving "
+                        "journaled verdicts from cache")
+    p.add_argument("--retries", type=int, default=2, metavar="N",
+                   help="retry budget for transient test-infrastructure "
+                        "faults (default 2)")
+    p.add_argument("--test-fuel", type=int, default=None, metavar="N",
+                   help="per-test instruction budget override (a "
+                        "runaway miscompile becomes a step-limit "
+                        "verdict instead of a stuck driver)")
+    p.add_argument("--test-wall-clock", type=float, default=None,
+                   metavar="SEC",
+                   help="per-test wall-clock budget in seconds "
+                        "(unset = deterministic unbounded runs)")
     return p
 
 
@@ -69,6 +92,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.cache_dir and os.path.exists(args.cache_dir) \
             and not os.path.isdir(args.cache_dir):
         parser.error(f"--cache-dir is not a directory: {args.cache_dir}")
+    if args.resume and not args.journal:
+        parser.error("--resume requires --journal DIR")
+    if args.retries < 0:
+        parser.error(f"--retries must be >= 0 (got {args.retries})")
+
+    if args.compact_cache:
+        if not args.cache_dir:
+            parser.error("--compact-cache requires --cache-dir DIR")
+        from .cache import VerdictCache
+        cache = VerdictCache(args.cache_dir)
+        before, after = cache.compact()
+        stats = cache.stats()
+        print(f"compacted {stats['path']}: {before} lines -> {after} "
+              f"records")
+        return 0
 
     if args.list:
         from ..workloads.base import get_info, row_names
@@ -97,19 +135,33 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
 
     from .compiler import Compiler
+    from .errors import ProbingError
+    from .executor import ExecutorPolicy
     compiler = Compiler(verify_analyses=args.verify_analyses,
                         invalidation=args.invalidation)
-    if args.jobs > 1 or args.cache_dir:
-        from .parallel import ParallelProbingDriver
-        reports = ParallelProbingDriver(
-            cfg, jobs=args.jobs, strategy=args.strategy,
-            max_tests=args.max_tests, cache_dir=args.cache_dir).run()
-        report = reports[0]
-    else:
-        driver = ProbingDriver(cfg, compiler=compiler,
-                               strategy=args.strategy,
-                               max_tests=args.max_tests)
-        report = driver.run()
+    policy = ExecutorPolicy(fuel=args.test_fuel,
+                            wall_clock=args.test_wall_clock,
+                            retries=args.retries)
+    try:
+        if args.jobs > 1 or args.cache_dir or args.journal:
+            from .parallel import ParallelProbingDriver
+            reports = ParallelProbingDriver(
+                cfg, jobs=args.jobs, strategy=args.strategy,
+                max_tests=args.max_tests, cache_dir=args.cache_dir,
+                journal_dir=args.journal, resume=args.resume,
+                policy=policy).run()
+            report = reports[0]
+        else:
+            driver = ProbingDriver(cfg, compiler=compiler,
+                                   strategy=args.strategy,
+                                   max_tests=args.max_tests,
+                                   policy=policy)
+            report = driver.run()
+    except ProbingError as e:
+        print(f"error: {e}", file=sys.stderr)
+        if e.explain:
+            print(e.explain, file=sys.stderr)
+        return 1
     print(render_report(report))
     return 0
 

@@ -38,14 +38,24 @@ class CompiledProgram:
     exe_hash: str
 
     # -- execution ---------------------------------------------------------
-    def run(self) -> RunResult:
+    def run(self, fuel: Optional[int] = None,
+            wall_clock: Optional[float] = None) -> RunResult:
+        """Execute the program on the VM.
+
+        ``fuel`` overrides the config's instruction budget and
+        ``wall_clock`` arms a per-run wall-clock deadline — the probing
+        runtime's per-test budgets (a miscompiled binary may loop
+        forever; the budget turns that into a ``step-limit`` triage
+        instead of a hung driver)."""
         cfg = self.config
+        max_steps = cfg.max_steps if fuel is None else fuel
         try:
             if cfg.nranks > 1:
                 machines = [
-                    Machine(self.module, max_steps=cfg.max_steps,
+                    Machine(self.module, max_steps=max_steps,
                             kernel_info=self.kernel_info,
-                            num_threads=cfg.num_threads, argv=cfg.argv)
+                            num_threads=cfg.num_threads, argv=cfg.argv,
+                            wall_clock=wall_clock)
                     for _ in range(cfg.nranks)
                 ]
                 for m in machines:
@@ -53,8 +63,11 @@ class CompiledProgram:
                 MPIWorld(machines).run()
                 state = ("done" if all(m.state == "done" for m in machines)
                          else "trapped")
-                err = next((str(m.error) for m in machines
-                            if m.error is not None), None)
+                first_error = next((m.error for m in machines
+                                    if m.error is not None), None)
+                err = str(first_error) if first_error is not None else None
+                kind = (type(first_error).__name__
+                        if first_error is not None else None)
                 out = "".join(m.output() for m in machines)
                 insts = sum(m.instructions for m in machines)
                 cycles = max(m.cycles for m in machines)
@@ -62,17 +75,22 @@ class CompiledProgram:
                 for m in machines:
                     for k, v in m.kernel_cycles.items():
                         kcycles[k] = kcycles.get(k, 0.0) + v
-                return RunResult(out, state, err, insts, cycles, kcycles)
-            m = Machine(self.module, max_steps=cfg.max_steps,
+                return RunResult(out, state, err, insts, cycles, kcycles,
+                                 error_kind=kind)
+            m = Machine(self.module, max_steps=max_steps,
                         kernel_info=self.kernel_info,
-                        num_threads=cfg.num_threads, argv=cfg.argv)
+                        num_threads=cfg.num_threads, argv=cfg.argv,
+                        wall_clock=wall_clock)
             m.start(cfg.entry)
             m.run_to_completion()
             return RunResult(m.output(), m.state,
                              str(m.error) if m.error else None,
-                             m.instructions, m.cycles, dict(m.kernel_cycles))
+                             m.instructions, m.cycles, dict(m.kernel_cycles),
+                             error_kind=(type(m.error).__name__
+                                         if m.error else None))
         except VMError as e:  # scheduler-level failures (deadlock)
-            return RunResult("", "trapped", str(e))
+            return RunResult("", "trapped", str(e),
+                             error_kind=type(e).__name__)
 
     # -- reporting -----------------------------------------------------------
     @property

@@ -32,27 +32,23 @@ from __future__ import annotations
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Set, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
 
+from ..faults.injector import FaultInjector
 from .cache import VerdictCache, config_fingerprint
 from .compiler import CompiledProgram, Compiler
 from .config import BenchmarkConfig
+from .errors import FlakyConfigError, ProbingError
+from .executor import ExecutorPolicy, TestExecutor, TestOutcome
+from .journal import SessionJournal
 from .pass_ import DumpFlags, OraqlAAPass, QueryRecord
 from .sequence import DecisionSequence, sequence_from_pessimistic_set
-from .verify import RunResult, VerificationScript
+from .verify import RunResult, VerificationScript, triage_run
 
 
 class TestBudgetExhausted(RuntimeError):
     """Raised internally when ``max_tests`` is reached; the driver
     converts it into a partial report flagged ``budget_exhausted``."""
-
-
-@dataclass
-class TestOutcome:
-    ok: bool
-    unique_queries: int
-    exe_hash: str
-    from_cache: bool = False
 
 
 @dataclass
@@ -79,6 +75,23 @@ class ProbingReport:
     #: persistent verdict-cache traffic (0/0 when no cache is attached)
     cache_hits: int = 0
     cache_misses: int = 0
+    #: triage class -> number of *executed* tests that ended that way
+    #: (cached/deduced verdicts are not re-triaged)
+    triage_counts: Dict[str, int] = field(default_factory=dict)
+    #: transient-fault retries the executor performed (compiler faults)
+    retries: int = 0
+    #: nondeterminism-probe re-runs (a mismatch executed twice)
+    nondet_reruns: int = 0
+    #: verdicts replayed from a session journal on ``--resume``
+    tests_replayed: int = 0
+    #: worker-side failures the parallel engine survived (speculative
+    #: probes lost, workers respawned, configs requeued)
+    worker_errors: List[str] = field(default_factory=list)
+    #: the probing session itself failed; ``error`` says how.  Only the
+    #: parallel fan-out produces failed reports (a sequential session
+    #: raises instead) — one crashing config must not lose the fleet
+    failed: bool = False
+    error: Optional[str] = None
     #: True when ``max_tests`` ran out: ``pessimistic_indices`` is the
     #: best-known (possibly insufficient) set rather than a verified
     #: locally-maximal one
@@ -106,9 +119,15 @@ class ProbingReport:
             / self.no_alias_original
 
     def summary(self) -> str:
+        if self.failed:
+            return f"{self.config_name}: FAILED ({self.error})"
         extra = ""
         if self.cache_hits or self.cache_misses:
             extra += f", {self.cache_hits} verdict-cache hits"
+        if self.tests_replayed:
+            extra += f", {self.tests_replayed} journal-replayed"
+        if self.retries:
+            extra += f", {self.retries} retries"
         if self.budget_exhausted:
             extra += ", BUDGET EXHAUSTED"
         return (
@@ -144,7 +163,11 @@ class ProbingDriver:
                  compiler: Optional[Compiler] = None,
                  strategy: str = "chunked",
                  max_tests: int = 10_000,
-                 verdict_cache: Optional[VerdictCache] = None):
+                 verdict_cache: Optional[VerdictCache] = None,
+                 policy: Optional[ExecutorPolicy] = None,
+                 executor: Optional[TestExecutor] = None,
+                 journal: Optional[SessionJournal] = None,
+                 injector: Optional[FaultInjector] = None):
         if strategy not in ("chunked", "frequency"):
             raise ValueError(f"unknown strategy {strategy!r}")
         self.config = config
@@ -153,20 +176,38 @@ class ProbingDriver:
         self.max_tests = max_tests
         self.verifier: Optional[VerificationScript] = None
         self.verdict_cache = verdict_cache
+        self.executor = executor or TestExecutor(self.compiler,
+                                                 policy=policy,
+                                                 injector=injector)
+        self.journal = journal
         self._fingerprint = (config_fingerprint(config)
                              if verdict_cache is not None else "")
-        self._hash_cache: Dict[str, bool] = {}
+        #: exe hash -> (ok, triage); verdicts this session already knows
+        self._hash_cache: Dict[str, Tuple[bool, str]] = {}
         #: best-known pessimistic set, maintained by the strategies so a
         #: budget-exhausted run can still report partial progress
         self._best_pessimistic: Set[int] = set()
         self._report = ProbingReport(config.name, False, DecisionSequence(),
                                      [])
+        if injector is not None:
+            # durability faults need the file paths to tear
+            if verdict_cache is not None:
+                injector.cache_path = verdict_cache.path
+            if journal is not None:
+                injector.journal_path = journal.path
+        if journal is not None and journal.replayed:
+            # resume: replaying journaled verdicts into the hash cache
+            # makes the deterministic search retrace its exact path,
+            # serving replayed probes from cache instead of re-running
+            for exe, (ok, _n, triage) in journal.replayed.items():
+                self._hash_cache[exe] = (ok, triage)
+            self._report.tests_replayed = len(journal.replayed)
 
     # -- the test oracle -----------------------------------------------------
     def _compile(self, sequence: Optional[DecisionSequence],
                  oraql_enabled: bool = True) -> CompiledProgram:
         self._report.compiles += 1
-        prog = self.compiler.compile(self.config, sequence=sequence,
+        prog = self.executor.compile(self.config, sequence=sequence,
                                      oraql_enabled=oraql_enabled)
         counters = prog.analysis_counters
         for name, n in counters["builds"].items():
@@ -178,40 +219,75 @@ class ProbingDriver:
         return prog
 
     def _test(self, sequence: DecisionSequence) -> TestOutcome:
+        self.executor.begin_test()
         prog = self._compile(sequence)
         n = prog.oraql.unique_queries
-        return self._verdict_for(prog.exe_hash, n,
-                                 lambda: self.verifier.check(prog.run()))
+        return self._verdict_for(
+            prog.exe_hash, n,
+            lambda: self.executor.run_and_verify(prog, self.verifier))
 
     def _verdict_for(self, exe_hash: str, unique_queries: int,
-                     run_test) -> TestOutcome:
-        """Verdict lookup chain: in-memory hash cache, then the
-        persistent verdict cache, then actually running the tests
-        (charged against the budget and recorded in both caches)."""
+                     run_test: Callable[[], TestOutcome]) -> TestOutcome:
+        """Verdict lookup chain: in-memory hash cache (pre-seeded from
+        the session journal on resume), then the persistent verdict
+        cache, then actually running the tests (charged against the
+        budget, triaged, and recorded in journal and caches)."""
         cached = self._hash_cache.get(exe_hash)
         if cached is not None:
+            ok, triage = cached
             self._report.tests_cached += 1
-            return TestOutcome(cached, unique_queries, exe_hash,
-                               from_cache=True)
+            return TestOutcome(ok, unique_queries, exe_hash,
+                               from_cache=True, triage=triage)
         key = None
         if self.verdict_cache is not None:
             key = VerdictCache.key(self._fingerprint, exe_hash)
-            verdict = self.verdict_cache.get(key)
-            if verdict is not None:
+            record = self.verdict_cache.get_record(key)
+            if record is not None:
+                verdict, triage = record
                 self._report.cache_hits += 1
                 self._report.tests_cached += 1
-                self._hash_cache[exe_hash] = verdict
+                self._hash_cache[exe_hash] = (
+                    verdict,
+                    triage or ("ok" if verdict else "wrong-output"))
+                self._journal_probe(exe_hash, verdict, unique_queries,
+                                    self._hash_cache[exe_hash][1])
                 return TestOutcome(verdict, unique_queries, exe_hash,
-                                   from_cache=True)
+                                   from_cache=True, triage=triage)
             self._report.cache_misses += 1
         if self._report.tests_run >= self.max_tests:
             raise TestBudgetExhausted("probing exceeded the test budget")
         self._report.tests_run += 1
-        ok = run_test()
-        self._hash_cache[exe_hash] = ok
+        outcome = run_test()
+        self._book_outcome(outcome)
+        if outcome.flaky:
+            raise FlakyConfigError(
+                f"nondeterministic verdict for {self.config.name}: the "
+                f"same executable ({exe_hash[:12]}…) passed and failed "
+                f"verification — config quarantined",
+                outcome=outcome, explain=self._explain(outcome))
+        self._hash_cache[exe_hash] = (outcome.ok, outcome.triage)
+        self._journal_probe(exe_hash, outcome.ok, unique_queries,
+                            outcome.triage)
         if key is not None:
-            self.verdict_cache.put(key, ok)
-        return TestOutcome(ok, unique_queries, exe_hash)
+            self.verdict_cache.put(key, outcome.ok, triage=outcome.triage)
+        return outcome
+
+    def _book_outcome(self, outcome: TestOutcome) -> None:
+        r = self._report
+        r.triage_counts[outcome.triage] = \
+            r.triage_counts.get(outcome.triage, 0) + 1
+        r.retries = self.executor.retries_used
+        r.nondet_reruns = self.executor.nondet_reruns
+
+    def _journal_probe(self, exe_hash: str, ok: bool, n: int,
+                       triage: str) -> None:
+        if self.journal is not None:
+            self.journal.record_probe(exe_hash, ok, n, triage)
+
+    def _explain(self, outcome: TestOutcome) -> Optional[str]:
+        if outcome.run is not None and self.verifier is not None:
+            return self.verifier.explain(outcome.run)
+        return None
 
     def _speculate(self, sequences: List[DecisionSequence]) -> None:
         """Hint that these sequences are likely to be tested next.
@@ -229,18 +305,22 @@ class ProbingDriver:
         baseline = self._compile(None, oraql_enabled=False)
         report.baseline_program = baseline
         report.no_alias_original = baseline.no_alias_count
-        base_run = baseline.run()
+        base_run = baseline.run(fuel=self.executor.policy.fuel,
+                                wall_clock=self.executor.policy.wall_clock)
         references = list(cfg.reference_outputs)
         if not references:
             if not base_run.ok:
-                raise RuntimeError(
+                raise ProbingError(
                     f"baseline run failed: {base_run.state} "
-                    f"({base_run.error})")
+                    f"({base_run.error})",
+                    triage=triage_run(base_run))
             references = [base_run.stdout]
         self.verifier = VerificationScript(references, cfg.output_filters)
         if not self.verifier.check(base_run):
-            raise RuntimeError(
-                "baseline does not verify against the reference output")
+            raise ProbingError(
+                "baseline does not verify against the reference output",
+                triage=self.verifier.triage(base_run),
+                explain=self.verifier.explain(base_run))
 
         # 2. the fully optimistic attempt (empty sequence)
         pess: Set[int] = set()
@@ -263,11 +343,14 @@ class ProbingDriver:
         # 4. final compile with the discovered sequence, full bookkeeping
         final_seq = sequence_from_pessimistic_set(pess)
         final = self._compile(final_seq)
-        final_run = final.run()
+        final_run = final.run(fuel=self.executor.policy.fuel,
+                              wall_clock=self.executor.policy.wall_clock)
         if not self.verifier.check(final_run) and not report.budget_exhausted:
-            raise RuntimeError(
+            raise ProbingError(
                 "final sequence does not verify — non-deterministic "
-                "compilation or verification")
+                "compilation or verification",
+                triage=self.verifier.triage(final_run),
+                explain=self.verifier.explain(final_run))
         report.final_sequence = final_seq
         report.pessimistic_indices = sorted(pess)
         report.final_program = final
@@ -279,6 +362,10 @@ class ProbingDriver:
         report.no_alias_oraql = final.no_alias_count
         report.unique_by_pass = dict(oraql.unique_by_pass)
         report.pessimistic_records = oraql.pessimistic_records()
+        report.retries = self.executor.retries_used
+        report.nondet_reruns = self.executor.nondet_reruns
+        if self.journal is not None and not report.budget_exhausted:
+            self.journal.record_done(report.pessimistic_indices)
         return report
 
     # -- chunked strategy ------------------------------------------------
@@ -305,7 +392,11 @@ class ProbingDriver:
                         decided[i] = 0
                         break
                 else:
-                    raise RuntimeError("all-pessimistic sequence fails tests")
+                    raise ProbingError(
+                        "all-pessimistic sequence fails tests — the "
+                        "benchmark does not verify even with every query "
+                        "answered may-alias",
+                        outcome=t, explain=self._explain(t))
                 continue
 
             # g(k): prefix + k optimistic + pessimistic tail

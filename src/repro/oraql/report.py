@@ -10,6 +10,7 @@ from typing import List, Optional
 
 from .driver import ProbingReport
 from .pass_ import QueryRecord
+from .verify import TRIAGE_CLASSES
 
 
 def render_query(rec: QueryRecord) -> str:
@@ -37,6 +38,12 @@ def render_report(report: ProbingReport) -> str:
     r = report
     out: List[str] = []
     out.append(f"== ORAQL report: {r.config_name} ==")
+    if r.failed:
+        out.append(f"FAILED: {r.error}")
+        for err in r.worker_errors:
+            if err != r.error:
+                out.append(f"  worker error: {err}")
+        return "\n".join(out)
     if r.fully_optimistic:
         out.append("fully optimistic: all queries can be answered no-alias")
     out.append(f"optimistic queries : {r.opt_unique} unique, "
@@ -55,6 +62,21 @@ def render_report(report: ProbingReport) -> str:
     if r.cache_hits or r.cache_misses:
         out.append(f"verdict cache      : {r.cache_hits} hits, "
                    f"{r.cache_misses} misses")
+    if r.triage_counts:
+        ordered = [c for c in TRIAGE_CLASSES if r.triage_counts.get(c)]
+        ordered += sorted(set(r.triage_counts) - set(TRIAGE_CLASSES))
+        out.append("test triage        : " + ", ".join(
+            f"{c} {r.triage_counts[c]}" for c in ordered))
+    if r.retries or r.nondet_reruns:
+        out.append(f"fault handling     : {r.retries} transient retries, "
+                   f"{r.nondet_reruns} nondeterminism re-runs")
+    if r.tests_replayed:
+        out.append(f"journal resume     : {r.tests_replayed} verdicts "
+                   f"replayed from the session journal")
+    if r.worker_errors:
+        out.append(f"worker failures    : {len(r.worker_errors)} survived")
+        for err in r.worker_errors:
+            out.append(f"  {err}")
     if r.tests_speculated:
         out.append(f"speculation        : {r.tests_speculated} probes "
                    f"launched ahead of need")

@@ -12,6 +12,7 @@ from .errors import (
     StepLimitExceeded,
     UndefinedBehavior,
     VMError,
+    WallClockExceeded,
 )
 from .interpreter import Blocked, Frame, Machine
 from .memory import Memory

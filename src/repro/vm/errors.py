@@ -21,6 +21,12 @@ class StepLimitExceeded(VMError):
     """The configured instruction budget ran out (likely an infinite loop)."""
 
 
+class WallClockExceeded(VMError):
+    """The per-run wall-clock budget ran out (checked every few thousand
+    instructions; only armed when a deadline is configured, so default
+    runs stay bit-deterministic)."""
+
+
 class DeadlockError(VMError):
     """All ranks blocked on incompatible communication."""
 

@@ -14,6 +14,7 @@ The machine is a step machine (no host recursion for calls) so that:
 from __future__ import annotations
 
 import math
+import time
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..ir.basicblock import BasicBlock
@@ -62,7 +63,14 @@ from ..ir.values import (
     Value,
 )
 from .cost_model import CostModel, occupancy_factor
-from .errors import DeadlockError, MemoryTrap, StepLimitExceeded, UndefinedBehavior, VMError
+from .errors import (
+    DeadlockError,
+    MemoryTrap,
+    StepLimitExceeded,
+    UndefinedBehavior,
+    VMError,
+    WallClockExceeded,
+)
 from .memory import Memory
 
 
@@ -108,7 +116,8 @@ class Machine:
                  cost_model: Optional[CostModel] = None,
                  kernel_info: Optional[Dict[str, object]] = None,
                  rank: int = 0, nranks: int = 1, num_threads: int = 4,
-                 argv: Optional[List[str]] = None):
+                 argv: Optional[List[str]] = None,
+                 wall_clock: Optional[float] = None):
         from .runtime import Runtime  # local import to avoid cycle
 
         self.module = module
@@ -117,6 +126,10 @@ class Machine:
         self.cost = cost_model or CostModel()
         self.kernel_info = kernel_info or {}
         self.max_steps = max_steps
+        #: optional per-run wall-clock budget in seconds; armed at
+        #: :meth:`run` and polled every ``WALL_CLOCK_POLL`` instructions
+        self.wall_clock = wall_clock
+        self._deadline: Optional[float] = None
         self.rank = rank
         self.nranks = nranks
         self.num_threads = num_threads
@@ -196,14 +209,25 @@ class Machine:
         self.frames.append(frame)
         self.state = "ready"
 
+    #: poll cadence for the (optional) wall-clock deadline; coarse so the
+    #: hot loop stays branch-cheap when no deadline is configured
+    WALL_CLOCK_POLL = 4096
+
     def run(self) -> "Machine":
         """Run until done, blocked, or trapped."""
+        if self.wall_clock is not None and self._deadline is None:
+            self._deadline = time.monotonic() + self.wall_clock
         try:
             while self.state == "ready":
                 self.step()
                 if self.instructions > self.max_steps:
                     raise StepLimitExceeded(
                         f"exceeded {self.max_steps} instructions")
+                if self._deadline is not None \
+                        and self.instructions % self.WALL_CLOCK_POLL == 0 \
+                        and time.monotonic() > self._deadline:
+                    raise WallClockExceeded(
+                        f"exceeded {self.wall_clock:.3f}s wall clock")
         except VMError as e:
             self.state = "trapped"
             self.error = e
@@ -247,6 +271,11 @@ class Machine:
             if self.instructions > self.max_steps:
                 raise StepLimitExceeded(
                     f"exceeded {self.max_steps} instructions")
+            if self._deadline is not None \
+                    and self.instructions % self.WALL_CLOCK_POLL == 0 \
+                    and time.monotonic() > self._deadline:
+                raise WallClockExceeded(
+                    f"exceeded {self.wall_clock:.3f}s wall clock")
         return self.retval
 
     # -- the step function ----------------------------------------------------

@@ -1,0 +1,238 @@
+"""Tests for the fault-isolated test executor: the triage matrix
+(trapped / step-limit / deadlock / wrong-output through check, triage,
+and explain), per-test fuel and wall-clock budgets, transient-fault
+retries, and the nondeterminism probe."""
+
+import pytest
+
+from repro.oraql import (
+    BenchmarkConfig,
+    Compiler,
+    ExecutorPolicy,
+    ProbingDriver,
+    ProbingError,
+    SourceFile,
+    TestExecutor,
+    VerificationScript,
+    triage_run,
+)
+from repro.oraql.verify import RunResult
+
+SAFE_SRC = """
+int main() {
+  double x[8];
+  for (int i = 0; i < 8; i++) { x[i] = i * 2.0; }
+  double s = 0.0;
+  for (int i = 0; i < 8; i++) { s = s + x[i]; }
+  printf("sum = %.1f\\n", s);
+  return 0;
+}
+"""
+
+TRAP_SRC = """
+int main() {
+  double x[4];
+  double* p = x;
+  for (int i = 0; i < 4; i++) { x[i] = 1.0; }
+  double v = p[4000000];
+  printf("%f\\n", v);
+  return 0;
+}
+"""
+
+BUSY_SRC = """
+int main() {
+  double s = 0.0;
+  for (int i = 0; i < 100000; i++) { s = s + 1.0; }
+  printf("%.1f\\n", s);
+  return 0;
+}
+"""
+
+
+def cfg_of(src, name="t"):
+    return BenchmarkConfig(name=name, sources=[SourceFile("t.c", src)])
+
+
+def compile_plain(src):
+    return Compiler().compile(cfg_of(src), sequence=None,
+                              oraql_enabled=False)
+
+
+class TestTriageMatrix:
+    def test_ok(self):
+        prog = compile_plain(SAFE_SRC)
+        r = prog.run()
+        assert r.ok and r.error_kind is None
+        assert triage_run(r) == "ok"
+        v = VerificationScript([r.stdout])
+        assert v.check(r)
+        assert v.triage(r) == "ok"
+
+    def test_wrong_output(self):
+        prog = compile_plain(SAFE_SRC)
+        r = prog.run()
+        v = VerificationScript(["something else entirely\n"])
+        assert not v.check(r)
+        assert v.triage(r) == "wrong-output"
+        assert "expected" in v.explain(r) or "mismatch" in v.explain(r)
+
+    def test_trapped(self):
+        prog = compile_plain(TRAP_SRC)
+        r = prog.run()
+        assert not r.ok
+        assert r.error_kind == "MemoryTrap"
+        assert triage_run(r) == "trapped"
+        v = VerificationScript(["unused\n"])
+        assert v.triage(r) == "trapped"
+        assert "[trapped]" in v.explain(r)
+
+    def test_step_limit_via_fuel(self):
+        prog = compile_plain(BUSY_SRC)
+        r = prog.run(fuel=64)
+        assert not r.ok
+        assert r.error_kind == "StepLimitExceeded"
+        assert triage_run(r) == "step-limit"
+        assert "[step-limit]" in VerificationScript(["x\n"]).explain(r)
+
+    def test_wall_clock_budget(self):
+        prog = compile_plain(BUSY_SRC)
+        r = prog.run(wall_clock=1e-9)
+        assert not r.ok
+        assert r.error_kind == "WallClockExceeded"
+        assert triage_run(r) == "step-limit"
+
+    def test_deadlock_classified(self):
+        r = RunResult("", "trapped", "all workers blocked",
+                      error_kind="DeadlockError")
+        assert triage_run(r) == "deadlock"
+        assert "[deadlock]" in VerificationScript(["x\n"]).explain(r)
+
+    def test_unknown_error_kind_is_trapped(self):
+        r = RunResult("", "trapped", "???", error_kind="SomethingNew")
+        assert triage_run(r) == "trapped"
+
+
+class TestPolicyValidation:
+    def test_bad_nondet_mode(self):
+        with pytest.raises(ValueError, match="nondet_probe"):
+            ExecutorPolicy(nondet_probe="sometimes")
+
+    def test_negative_retries(self):
+        with pytest.raises(ValueError, match="retries"):
+            ExecutorPolicy(retries=-1)
+
+
+class FlakyCompiler(Compiler):
+    """Raises on the first ``failures`` compile calls, then delegates."""
+
+    def __init__(self, failures):
+        super().__init__()
+        self.failures = failures
+        self.calls = 0
+
+    def compile(self, *a, **k):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise RuntimeError(f"transient fault #{self.calls}")
+        return super().compile(*a, **k)
+
+
+class TestCompileRetry:
+    def test_transient_fault_retried(self):
+        comp = FlakyCompiler(failures=2)
+        ex = TestExecutor(comp, ExecutorPolicy(retries=2, backoff=0.0))
+        prog = ex.compile(cfg_of(SAFE_SRC), None, oraql_enabled=False)
+        assert prog.exe_hash
+        assert ex.retries_used == 2
+        assert comp.calls == 3
+
+    def test_budget_exhausted_is_probing_error(self):
+        comp = FlakyCompiler(failures=10)
+        ex = TestExecutor(comp, ExecutorPolicy(retries=1, backoff=0.0))
+        with pytest.raises(ProbingError) as ei:
+            ex.compile(cfg_of(SAFE_SRC), None, oraql_enabled=False)
+        assert ei.value.triage == "compiler-error"
+        assert "transient fault" in str(ei.value)
+
+    def test_zero_retries(self):
+        comp = FlakyCompiler(failures=1)
+        ex = TestExecutor(comp, ExecutorPolicy(retries=0, backoff=0.0))
+        with pytest.raises(ProbingError):
+            ex.compile(cfg_of(SAFE_SRC), None, oraql_enabled=False)
+        assert ex.retries_used == 0
+
+
+class FakeProgram:
+    """Duck-typed CompiledProgram emitting a scripted run sequence."""
+
+    exe_hash = "fake-hash"
+    oraql = None
+
+    def __init__(self, results):
+        self.results = list(results)
+
+    def run(self, fuel=None, wall_clock=None):
+        return self.results.pop(0)
+
+
+GOOD = RunResult("42\n", "done")
+BAD = RunResult("41\n", "done")
+
+
+class TestNondeterminismProbe:
+    def verifier(self):
+        return VerificationScript(["42\n"])
+
+    def test_deterministic_failure_not_flaky(self):
+        ex = TestExecutor(policy=ExecutorPolicy(backoff=0.0))
+        out = ex.run_and_verify(FakeProgram([BAD, BAD]), self.verifier())
+        assert not out.ok and not out.flaky
+        assert out.attempts == 2
+        assert ex.nondet_reruns == 1
+
+    def test_flip_detected_as_flaky(self):
+        ex = TestExecutor(policy=ExecutorPolicy(backoff=0.0))
+        out = ex.run_and_verify(FakeProgram([BAD, GOOD]), self.verifier())
+        assert out.flaky
+        assert out.triage == "wrong-output"
+
+    def test_probe_first_only_probes_once(self):
+        ex = TestExecutor(policy=ExecutorPolicy(backoff=0.0,
+                                                nondet_probe="first"))
+        ex.run_and_verify(FakeProgram([BAD, BAD]), self.verifier())
+        out = ex.run_and_verify(FakeProgram([BAD]), self.verifier())
+        assert out.attempts == 1
+        assert ex.nondet_reruns == 1
+
+    def test_probe_always(self):
+        ex = TestExecutor(policy=ExecutorPolicy(backoff=0.0,
+                                                nondet_probe="always"))
+        ex.run_and_verify(FakeProgram([BAD, BAD]), self.verifier())
+        ex.run_and_verify(FakeProgram([BAD, BAD]), self.verifier())
+        assert ex.nondet_reruns == 2
+
+    def test_probe_never(self):
+        ex = TestExecutor(policy=ExecutorPolicy(backoff=0.0,
+                                                nondet_probe="never"))
+        out = ex.run_and_verify(FakeProgram([BAD]), self.verifier())
+        assert out.attempts == 1
+        assert ex.nondet_reruns == 0
+
+    def test_passing_run_not_probed(self):
+        ex = TestExecutor(policy=ExecutorPolicy(backoff=0.0))
+        out = ex.run_and_verify(FakeProgram([GOOD]), self.verifier())
+        assert out.ok and out.attempts == 1
+
+
+class TestDriverPolicyPlumbing:
+    def test_driver_threads_fuel_to_tests(self):
+        # a fuel so small that even the baseline run cannot finish: the
+        # baseline check must fail with a step-limit triage, surfaced as
+        # a structured ProbingError
+        with pytest.raises(ProbingError) as ei:
+            ProbingDriver(cfg_of(BUSY_SRC),
+                          policy=ExecutorPolicy(fuel=64,
+                                                backoff=0.0)).run()
+        assert ei.value.triage == "step-limit"
+        assert "baseline" in str(ei.value)

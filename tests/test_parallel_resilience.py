@@ -1,0 +1,177 @@
+"""Tests for the parallel engine's resilience contract: dying workers
+are detected and their configurations requeued; failed speculations are
+recorded into the report (never silently dropped) and recomputed
+in-process; results under worker loss stay bit-identical to fault-free
+runs."""
+
+from concurrent.futures import Future
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.faults.injector import FaultInjector, FaultSpec
+from repro.oraql import (
+    BenchmarkConfig,
+    ParallelProbingDriver,
+    ProbingDriver,
+    SourceFile,
+    SpeculativeProbingDriver,
+)
+
+# wide enough that the chunked binary search actually offers
+# speculative branches (mirrors tests/test_oraql_parallel.py)
+WIDE_HAZARD_SRC = """
+void sweep(double* a, double* b, double* c, double* d, double* e,
+           double* f, int n) {
+  for (int i = 0; i < n; i++) { a[i] = b[i] + 1.0; }
+  for (int i = 0; i < n; i++) { c[i] = d[i] + a[i]; }
+  for (int i = 0; i < n; i++) { e[i] = f[i] + c[i]; }
+  for (int i = 0; i < n; i++) { b[i] = e[i] * 0.5; }
+}
+void shift(double* dst, double* src, int n) {
+  for (int i = 0; i < n; i++) { dst[i] = src[i] * 0.5 + 1.0; }
+}
+int main() {
+  double p[16]; double q[16]; double r[16];
+  double s[16]; double t[16]; double u[16];
+  double buf[64];
+  for (int i = 0; i < 16; i++) {
+    p[i] = i; q[i] = 2.0 * i; r[i] = 0.0;
+    s[i] = 3.0 * i; t[i] = 0.0; u[i] = 1.0;
+  }
+  for (int i = 0; i < 64; i++) { buf[i] = i + 1.0; }
+  sweep(p, q, r, s, t, u, 16);
+  shift(buf + 1, buf, 60);
+  double acc = 0.0;
+  for (int i = 0; i < 16; i++) { acc = acc + p[i] + r[i] + t[i]; }
+  for (int i = 0; i < 64; i++) { acc = acc + buf[i] * i; }
+  printf("acc = %.6f\\n", acc);
+  return 0;
+}
+"""
+
+SAFE_SRC = """
+int main() {
+  double x[8];
+  for (int i = 0; i < 8; i++) { x[i] = i * 2.0; }
+  double s = 0.0;
+  for (int i = 0; i < 8; i++) { s = s + x[i]; }
+  printf("sum = %.1f\\n", s);
+  return 0;
+}
+"""
+
+
+def cfg_of(src, name="t"):
+    return BenchmarkConfig(name=name, sources=[SourceFile("t.c", src)])
+
+
+class RaisingPool:
+    """A fake worker pool whose speculations fail in a scripted way."""
+
+    def __init__(self, exc_factory):
+        self.exc_factory = exc_factory
+        self.submits = 0
+
+    def submit(self, fn, *args, **kwargs):
+        self.submits += 1
+        f = Future()
+        f.set_exception(self.exc_factory())
+        return f
+
+    def shutdown(self, wait=True):
+        pass
+
+
+class TestSpeculativeResilience:
+    def test_worker_exception_recorded_and_recomputed(self):
+        # the satellite fix: a speculation that raises must land in the
+        # report, and the probe must be recomputed in-process
+        cfg = cfg_of(WIDE_HAZARD_SRC)
+        ref = ProbingDriver(cfg).run()
+        pool = RaisingPool(lambda: RuntimeError("worker blew up"))
+        rep = SpeculativeProbingDriver(cfg, pool).run()
+        assert rep.pessimistic_indices == ref.pessimistic_indices
+        assert pool.submits > 0
+        assert any("worker blew up" in e for e in rep.worker_errors)
+        assert rep.triage_counts.get("worker-lost", 0) >= 1
+
+    def test_broken_pool_disables_speculation(self):
+        cfg = cfg_of(WIDE_HAZARD_SRC)
+        ref = ProbingDriver(cfg).run()
+        pool = RaisingPool(lambda: BrokenProcessPool("pool died"))
+        rep = SpeculativeProbingDriver(cfg, pool).run()
+        assert rep.pessimistic_indices == ref.pessimistic_indices
+        assert any("speculation disabled" in e for e in rep.worker_errors)
+
+    def test_broken_pool_respawned_via_factory(self):
+        cfg = cfg_of(WIDE_HAZARD_SRC)
+        ref = ProbingDriver(cfg).run()
+        pool = RaisingPool(lambda: BrokenProcessPool("pool died"))
+        respawned = []
+
+        def factory():
+            p = RaisingPool(lambda: BrokenProcessPool("pool died again"))
+            respawned.append(p)
+            return p
+
+        rep = SpeculativeProbingDriver(cfg, pool,
+                                       pool_factory=factory).run()
+        assert rep.pessimistic_indices == ref.pessimistic_indices
+        assert respawned  # the factory was actually used
+        assert any("respawned" in e for e in rep.worker_errors)
+
+    def test_submit_failure_recorded(self):
+        class SubmitBomb(RaisingPool):
+            def submit(self, fn, *a, **k):
+                self.submits += 1
+                raise BrokenProcessPool("cannot even submit")
+
+        cfg = cfg_of(WIDE_HAZARD_SRC)
+        ref = ProbingDriver(cfg).run()
+        rep = SpeculativeProbingDriver(
+            cfg, SubmitBomb(lambda: None)).run()
+        assert rep.pessimistic_indices == ref.pessimistic_indices
+        assert any("submit failed" in e for e in rep.worker_errors)
+
+
+class TestFanoutResilience:
+    def test_worker_kill_requeues_and_completes(self, tmp_path):
+        # plant a hard worker kill (os._exit) in the first attempt of
+        # every worker; the engine must detect the broken pool, requeue,
+        # and still produce reports identical to a fault-free fan-out
+        configs = [cfg_of(WIDE_HAZARD_SRC, "hazard"),
+                   cfg_of(SAFE_SRC, "safe")]
+        refs = {c.name: ProbingDriver(c).run() for c in configs}
+        plan = FaultInjector([FaultSpec("worker-kill",
+                                        at=1)]).to_json_plan()
+        reports = ParallelProbingDriver(
+            configs, jobs=2, journal_dir=str(tmp_path / "journal"),
+            fault_plan=plan).run()
+        assert len(reports) == 2
+        for rep in reports:
+            assert not rep.failed, rep.error
+            ref = refs[rep.config_name]
+            assert rep.pessimistic_indices == ref.pessimistic_indices
+            assert rep.fully_optimistic == ref.fully_optimistic
+        # the hazard config reaches probe #1, dies, and is requeued (the
+        # fully optimistic safe config never reaches the kill site)
+        hazard = next(r for r in reports if r.config_name == "hazard")
+        assert any("requeued" in e for e in hazard.worker_errors)
+
+    def test_unrecoverable_config_reported_not_dropped(self, tmp_path):
+        # a worker that dies on every attempt exhausts the retry budget:
+        # its config must come back as a failed report while the healthy
+        # config's results survive
+        configs = [cfg_of(WIDE_HAZARD_SRC, "hazard"),
+                   cfg_of(SAFE_SRC, "safe")]
+        plan = FaultInjector([
+            FaultSpec("worker-kill", at=1, attempt=a)
+            for a in range(6)]).to_json_plan()
+        reports = ParallelProbingDriver(
+            configs, jobs=2, journal_dir=str(tmp_path / "journal"),
+            fault_plan=plan).run()
+        assert len(reports) == 2
+        by_name = {r.config_name: r for r in reports}
+        assert by_name["hazard"].failed
+        assert "worker lost" in by_name["hazard"].error
+        assert by_name["hazard"].triage_counts.get("worker-lost") == 1
+        assert not by_name["safe"].failed
