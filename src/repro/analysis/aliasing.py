@@ -100,6 +100,9 @@ class AAResults:
         self.override = override
         self.current_pass: str = "<none>"
         self.current_function: Optional[Function] = None
+        #: optional QueryTrace sink (repro.trace); None = tracing off.
+        #: Strictly observational: no emission influences any answer.
+        self.trace = None
         # counters (Fig. 4 columns)
         self.no_alias_count = 0
         self.must_alias_count = 0
@@ -112,19 +115,36 @@ class AAResults:
         self.total_queries += 1
         self.queries_by_issuer[self.current_pass] += 1
         fn = self.current_function
+        fn_name = fn.name if fn is not None else "<module>"
         if self.override is not None and \
                 self.override.should_force_may(a, b, fn):
+            if self.trace is not None:
+                from ..trace.events import RESPONDER_OVERRIDE
+                self.trace.chain_query(fn_name, a, b, RESPONDER_OVERRIDE,
+                                       str(AliasResult.MAY))
             return AliasResult.MAY
         for analysis in self.analyses:
             r = analysis.alias(a, b, fn)
             if r is not AliasResult.MAY:
                 self._record(r, analysis.name)
+                if self.trace is not None:
+                    self.trace.chain_query(fn_name, a, b, analysis.name,
+                                           str(r))
                 return r
         if self.oraql is not None:
+            # the ORAQL pass emits its own trace event (it alone knows
+            # cache-hit status and the unique-query index — and its
+            # pessimistic answers return MAY, indistinguishable here
+            # from "not applicable")
             r = self.oraql.answer(a, b, fn, self.current_pass)
             if r is not AliasResult.MAY:
                 self._record(r, self.oraql.name)
                 return r
+            return AliasResult.MAY
+        if self.trace is not None:
+            from ..trace.events import RESPONDER_NONE
+            self.trace.chain_query(fn_name, a, b, RESPONDER_NONE,
+                                   str(AliasResult.MAY))
         return AliasResult.MAY
 
     def _record(self, r: AliasResult, source: str) -> None:

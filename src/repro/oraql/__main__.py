@@ -1,0 +1,9 @@
+"""``python -m repro.oraql`` — the driver CLI without an installed
+console script (CI jobs run straight from the source tree)."""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -81,6 +81,21 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="SEC",
                    help="per-test wall-clock budget in seconds "
                         "(unset = deterministic unbounded runs)")
+    p.add_argument("--trace-out", metavar="FILE",
+                   help="write the query-provenance event log (JSONL) "
+                        "for the whole probing session; inspect with "
+                        "'python -m repro.trace summarize FILE'")
+    p.add_argument("--trace-chrome", metavar="FILE",
+                   help="write a Chrome trace_event JSON for the session "
+                        "(loadable in Perfetto / chrome://tracing)")
+    p.add_argument("--time-passes", action="store_true",
+                   help="collect and print the hierarchical phase-timing "
+                        "report (frontend/passes/codegen/vm-run, "
+                        "per-pass self vs. children)")
+    p.add_argument("--remarks", action="store_true",
+                   help="print optimization remarks from the final "
+                        "compile, each linked to the ORAQL query "
+                        "indices that enabled the transform")
     return p
 
 
@@ -142,6 +157,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     policy = ExecutorPolicy(fuel=args.test_fuel,
                             wall_clock=args.test_wall_clock,
                             retries=args.retries)
+
+    trace = None
+    wants_events = bool(args.trace_out or args.trace_chrome or args.remarks)
+    if wants_events or args.time_passes:
+        from ..trace import QueryTrace
+        # --time-passes alone runs the cheaper timer-only sink
+        trace = QueryTrace(record_events=wants_events)
+
     try:
         if args.jobs > 1 or args.cache_dir or args.journal:
             from .parallel import ParallelProbingDriver
@@ -149,19 +172,37 @@ def main(argv: Optional[List[str]] = None) -> int:
                 cfg, jobs=args.jobs, strategy=args.strategy,
                 max_tests=args.max_tests, cache_dir=args.cache_dir,
                 journal_dir=args.journal, resume=args.resume,
-                policy=policy).run()
+                policy=policy, trace=trace).run()
             report = reports[0]
         else:
             driver = ProbingDriver(cfg, compiler=compiler,
                                    strategy=args.strategy,
                                    max_tests=args.max_tests,
-                                   policy=policy)
+                                   policy=policy, trace=trace)
             report = driver.run()
     except ProbingError as e:
         print(f"error: {e}", file=sys.stderr)
         if e.explain:
             print(e.explain, file=sys.stderr)
         return 1
+
+    if trace is not None:
+        if report.phase_timers is None:
+            report.phase_timers = trace.timer.to_dict()
+        if not args.time_passes:
+            report.phase_timers = None
+        if not args.remarks:
+            report.remarks = []
+        from ..trace import export as trace_export
+        if args.trace_out:
+            trace_export.write_jsonl(args.trace_out, trace.records)
+            print(f"trace written to {args.trace_out}", file=sys.stderr)
+        if args.trace_chrome:
+            trace_export.write_chrome(args.trace_chrome, trace.records,
+                                      trace.timer.to_dict())
+            print(f"chrome trace written to {args.trace_chrome}",
+                  file=sys.stderr)
+
     print(render_report(report))
     return 0
 

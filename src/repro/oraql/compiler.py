@@ -9,6 +9,7 @@ pipeline with the ORAQL pass appended to the AA chain → "executable"
 from __future__ import annotations
 
 import hashlib
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -49,6 +50,13 @@ class CompiledProgram:
         instead of a hung driver)."""
         cfg = self.config
         max_steps = cfg.max_steps if fuel is None else fuel
+        trace = self.ctx.trace
+        with (trace.phase("vm-run") if trace is not None
+              else nullcontext()):
+            return self._run(cfg, max_steps, wall_clock)
+
+    def _run(self, cfg: BenchmarkConfig, max_steps: int,
+             wall_clock: Optional[float]) -> RunResult:
         try:
             if cfg.nranks > 1:
                 machines = [
@@ -130,16 +138,22 @@ class Compiler:
                 suppress_chain: bool = False,
                 override=None,
                 verify_analyses: Optional[bool] = None,
-                invalidation: Optional[str] = None) -> CompiledProgram:
+                invalidation: Optional[str] = None,
+                trace=None) -> CompiledProgram:
         if verify_analyses is None:
             verify_analyses = self.verify_analyses
         if invalidation is None:
             invalidation = self.invalidation
+
+        def timed(name):
+            return trace.phase(name) if trace is not None else nullcontext()
+
         # 1. frontend: one module per translation unit
         modules: List[Module] = []
-        for src in config.sources:
-            modules.append(compile_source(src.text, src.name,
-                                          options=self.frontend_options))
+        with timed("frontend"):
+            for src in config.sources:
+                modules.append(compile_source(src.text, src.name,
+                                              options=self.frontend_options))
 
         # 2. ORAQL pass appended to the chain when probing; one pass
         #    instance is shared across translation units so the decision
@@ -173,8 +187,10 @@ class Compiler:
             ctx = CompilationContext(
                 main, aa_chain=chain, oraql=oraql, override=override,
                 debug_pass_executions=debug_pass_executions,
-                verify_analyses=verify_analyses, invalidation=invalidation)
-            PassManager(ctx).run(pipeline)
+                verify_analyses=verify_analyses, invalidation=invalidation,
+                trace=trace)
+            with timed("passes"):
+                PassManager(ctx).run(pipeline)
             verify_module(main)
         else:
             # 3b. non-LTO: optimize each translation unit in isolation
@@ -187,9 +203,10 @@ class Compiler:
                     module, aa_chain=chain, oraql=oraql, override=override,
                     debug_pass_executions=debug_pass_executions,
                     verify_analyses=verify_analyses,
-                    invalidation=invalidation)
+                    invalidation=invalidation, trace=trace)
                 # a fresh pipeline per TU: passes may keep per-run state
-                PassManager(mctx).run(build_pipeline(config.opt_level))
+                with timed("passes"):
+                    PassManager(mctx).run(build_pipeline(config.opt_level))
                 verify_module(module)
                 contexts.append(mctx)
             main = modules[0]
@@ -213,13 +230,16 @@ class Compiler:
                 oraql.attach(ctx)
 
         # 4. codegen: host statistics + device kernels (Fig. 6 / Fig. 7)
-        codegen = run_codegen(main, ctx.stats, target="host")
-        kernels = compile_device_kernels(main, target="nvptx")
+        with timed("codegen"):
+            codegen = run_codegen(main, ctx.stats, target="host")
+            kernels = compile_device_kernels(main, target="nvptx")
         for name, ki in kernels.items():
             ctx.stats.add("asm printer", "# machine instructions generated",
                           ki.machine_insts)
 
         exe_hash = self._hash(main, kernels)
+        if trace is not None:
+            trace.record_stats(ctx.stats)
         return CompiledProgram(config, main, ctx, oraql, kernels, codegen,
                                exe_hash)
 

@@ -108,6 +108,13 @@ class ProbingReport:
     #: pre-rendered Fig. 3 dump, filled when the live records are
     #: detached for cross-process transport
     pessimistic_dump: Optional[str] = None
+    #: serialized phase-timer tree (``-time-passes``), present when the
+    #: session ran with tracing; merged across workers by the parallel
+    #: engine
+    phase_timers: Optional[dict] = None
+    #: rendered ``-Rpass``-style remarks from the *final* compile,
+    #: present when the session ran with tracing
+    remarks: List[str] = field(default_factory=list)
     final_program: Optional[CompiledProgram] = None
     baseline_program: Optional[CompiledProgram] = None
 
@@ -167,7 +174,8 @@ class ProbingDriver:
                  policy: Optional[ExecutorPolicy] = None,
                  executor: Optional[TestExecutor] = None,
                  journal: Optional[SessionJournal] = None,
-                 injector: Optional[FaultInjector] = None):
+                 injector: Optional[FaultInjector] = None,
+                 trace=None):
         if strategy not in ("chunked", "frequency"):
             raise ValueError(f"unknown strategy {strategy!r}")
         self.config = config
@@ -176,9 +184,13 @@ class ProbingDriver:
         self.max_tests = max_tests
         self.verifier: Optional[VerificationScript] = None
         self.verdict_cache = verdict_cache
+        self.trace = trace
         self.executor = executor or TestExecutor(self.compiler,
                                                  policy=policy,
-                                                 injector=injector)
+                                                 injector=injector,
+                                                 trace=trace)
+        if executor is not None and trace is not None:
+            executor.trace = trace
         self.journal = journal
         self._fingerprint = (config_fingerprint(config)
                              if verdict_cache is not None else "")
@@ -205,8 +217,12 @@ class ProbingDriver:
 
     # -- the test oracle -----------------------------------------------------
     def _compile(self, sequence: Optional[DecisionSequence],
-                 oraql_enabled: bool = True) -> CompiledProgram:
+                 oraql_enabled: bool = True,
+                 label: str = "probe") -> CompiledProgram:
         self._report.compiles += 1
+        if self.trace is not None:
+            self.trace.begin_compile(
+                label, bits=sequence.bits if sequence is not None else None)
         prog = self.executor.compile(self.config, sequence=sequence,
                                      oraql_enabled=oraql_enabled)
         counters = prog.analysis_counters
@@ -300,9 +316,13 @@ class ProbingDriver:
     def run(self) -> ProbingReport:
         report = self._report
         cfg = self.config
+        self.executor.begin_session()
+        if self.trace is not None:
+            self.trace.session(cfg.name, self.strategy)
 
         # 1. baseline: ORAQL deactivated
-        baseline = self._compile(None, oraql_enabled=False)
+        baseline = self._compile(None, oraql_enabled=False,
+                                 label="baseline")
         report.baseline_program = baseline
         report.no_alias_original = baseline.no_alias_count
         base_run = baseline.run(fuel=self.executor.policy.fuel,
@@ -342,7 +362,7 @@ class ProbingDriver:
 
         # 4. final compile with the discovered sequence, full bookkeeping
         final_seq = sequence_from_pessimistic_set(pess)
-        final = self._compile(final_seq)
+        final = self._compile(final_seq, label="final")
         final_run = final.run(fuel=self.executor.policy.fuel,
                               wall_clock=self.executor.policy.wall_clock)
         if not self.verifier.check(final_run) and not report.budget_exhausted:
@@ -366,6 +386,10 @@ class ProbingDriver:
         report.nondet_reruns = self.executor.nondet_reruns
         if self.journal is not None and not report.budget_exhausted:
             self.journal.record_done(report.pessimistic_indices)
+        if self.trace is not None:
+            self.trace.record_done(report.pessimistic_indices)
+            report.phase_timers = self.trace.timer.to_dict()
+            report.remarks = self.trace.remark_lines("final")
         return report
 
     # -- chunked strategy ------------------------------------------------

@@ -108,10 +108,23 @@ class TestExecutor:
 
     def __init__(self, compiler: Optional[Compiler] = None,
                  policy: Optional[ExecutorPolicy] = None,
-                 injector: Optional[FaultInjector] = None):
+                 injector: Optional[FaultInjector] = None,
+                 trace=None):
         self.compiler = compiler or Compiler()
         self.policy = policy or ExecutorPolicy()
         self.injector = injector
+        self.trace = trace
+        self.retries_used = 0
+        self.nondet_reruns = 0
+        self._probed_mismatch = False
+
+    def begin_session(self) -> None:
+        """Reset per-session counters and probe state.
+
+        An executor reused across drivers (repeated-driver scenarios,
+        one executor probing several configs) must not bleed one
+        config's retry/nondet bookkeeping — or its already-probed-a-
+        mismatch latch — into the next report."""
         self.retries_used = 0
         self.nondet_reruns = 0
         self._probed_mismatch = False
@@ -144,7 +157,8 @@ class TestExecutor:
                         raise InjectedCompilerError(
                             f"injected compiler fault at compile #{spec.at}")
                 return self.compiler.compile(config, sequence=sequence,
-                                             oraql_enabled=oraql_enabled)
+                                             oraql_enabled=oraql_enabled,
+                                             trace=self.trace)
             except Exception as e:
                 attempt += 1
                 if attempt > self.policy.retries:

@@ -67,18 +67,23 @@ MAX_POOL_RESPAWNS = 2
 # -- worker-side entry points (module level so they pickle) ---------------
 
 def _compile_and_test(config_json: str, bits: List[int],
-                      verifier: VerificationScript
-                      ) -> Tuple[str, int, bool, str]:
+                      verifier: VerificationScript,
+                      time_passes: bool = False
+                      ) -> Tuple[str, int, bool, str, Optional[dict]]:
     """One speculative probe: compile the config with the given decision
     bits, run it, verify.  Runs in a worker process; returns everything
     the driver needs to book the outcome (hash, query count, verdict,
-    triage class)."""
+    triage class) plus the worker's phase-timer tree when ``time_passes``
+    — full event streams stay in-process, but timers merge cheaply."""
+    from ..trace import QueryTrace
     cfg = BenchmarkConfig.from_json(config_json)
+    trace = QueryTrace(record_events=False) if time_passes else None
     prog = Compiler().compile(cfg, sequence=DecisionSequence(bits),
-                              oraql_enabled=True)
+                              oraql_enabled=True, trace=trace)
     run = prog.run()
     return (prog.exe_hash, prog.oraql.unique_queries, verifier.check(run),
-            verifier.triage(run))
+            verifier.triage(run),
+            trace.timer.to_dict() if trace is not None else None)
 
 
 def _probe_config(config_json: str, strategy: str, max_tests: int,
@@ -86,17 +91,20 @@ def _probe_config(config_json: str, strategy: str, max_tests: int,
                   journal_dir: Optional[str] = None,
                   resume: bool = False,
                   fault_plan: Optional[List[dict]] = None,
-                  attempt: int = 0) -> ProbingReport:
+                  attempt: int = 0,
+                  time_passes: bool = False) -> ProbingReport:
     """Probe one whole configuration in a worker process."""
+    from ..trace import QueryTrace
     cfg = BenchmarkConfig.from_json(config_json)
     cache = VerdictCache(cache_dir) if cache_dir else None
     journal = (SessionJournal.for_config(journal_dir, cfg, strategy,
                                          resume=resume)
                if journal_dir else None)
     injector = FaultInjector.from_json_plan(fault_plan, attempt=attempt)
+    trace = QueryTrace(record_events=False) if time_passes else None
     report = ProbingDriver(cfg, strategy=strategy, max_tests=max_tests,
                            verdict_cache=cache, journal=journal,
-                           injector=injector).run()
+                           injector=injector, trace=trace).run()
     # live IR/program objects do not survive (or justify) pickling back
     return report.detach_for_transport()
 
@@ -166,7 +174,7 @@ class SpeculativeProbingDriver(ProbingDriver):
             try:
                 fut = self._pool.submit(
                     _compile_and_test, self._config_json, list(seq.bits),
-                    self.verifier)
+                    self.verifier, time_passes=self.trace is not None)
             except (BrokenProcessPool, RuntimeError) as e:
                 self._record_worker_loss(
                     f"speculation submit failed: {type(e).__name__}: {e}")
@@ -179,7 +187,7 @@ class SpeculativeProbingDriver(ProbingDriver):
         fut = self._spec.pop(tuple(sequence.bits), None)
         if fut is not None and not fut.cancelled():
             try:
-                exe_hash, n, ok, triage = fut.result()
+                exe_hash, n, ok, triage, timer_tree = fut.result()
             except BrokenProcessPool as e:
                 # the pool (and every pending speculation) is gone —
                 # record it, try to respawn, recompute in-process
@@ -196,6 +204,9 @@ class SpeculativeProbingDriver(ProbingDriver):
                     f"speculative probe raised: {type(e).__name__}: {e}")
                 return super()._test(sequence)
             self._report.compiles += 1
+            if self.trace is not None and timer_tree is not None:
+                # fold the worker's phase timings into the session tree
+                self.trace.timer.merge_dict(timer_tree)
             return self._verdict_for(
                 exe_hash, n,
                 lambda: TestOutcome(ok, n, exe_hash, triage=triage))
@@ -249,7 +260,8 @@ class ParallelProbingDriver:
                  journal_dir: Optional[str] = None,
                  resume: bool = False,
                  policy: Optional[ExecutorPolicy] = None,
-                 fault_plan: Optional[List[dict]] = None):
+                 fault_plan: Optional[List[dict]] = None,
+                 trace=None):
         if isinstance(configs, BenchmarkConfig):
             configs = [configs]
         self.configs = list(configs)
@@ -267,6 +279,10 @@ class ParallelProbingDriver:
         self.policy = policy
         #: deterministic fault plan forwarded to workers (chaos testing)
         self.fault_plan = fault_plan
+        #: optional QueryTrace.  Single-config sessions run in-process
+        #: and trace fully; fan-out workers ship timer trees back (the
+        #: parent merges them), but event streams stay in-process
+        self.trace = trace
 
     def _cache(self) -> Optional[VerdictCache]:
         return VerdictCache(self.cache_dir) if self.cache_dir else None
@@ -291,7 +307,8 @@ class ParallelProbingDriver:
                 config, strategy=self.strategy, max_tests=self.max_tests,
                 verdict_cache=self._cache(), policy=self.policy,
                 journal=self._journal(config),
-                injector=FaultInjector.from_json_plan(self.fault_plan)).run()
+                injector=FaultInjector.from_json_plan(self.fault_plan),
+                trace=self.trace).run()
         factory = lambda: ProcessPoolExecutor(max_workers=self.jobs)  # noqa: E731
         with ProcessPoolExecutor(max_workers=self.jobs) as executor:
             driver = SpeculativeProbingDriver(
@@ -299,7 +316,8 @@ class ParallelProbingDriver:
                 strategy=self.strategy,
                 max_tests=self.max_tests, verdict_cache=self._cache(),
                 policy=self.policy, journal=self._journal(config),
-                injector=FaultInjector.from_json_plan(self.fault_plan))
+                injector=FaultInjector.from_json_plan(self.fault_plan),
+                trace=self.trace)
             return driver.run()
 
     # -- many configs: one worker per configuration -------------------------
@@ -310,7 +328,7 @@ class ParallelProbingDriver:
             return [ProbingDriver(
                 cfg, strategy=self.strategy, max_tests=self.max_tests,
                 verdict_cache=cache, policy=self.policy,
-                journal=self._journal(cfg)).run()
+                journal=self._journal(cfg), trace=self.trace).run()
                 for cfg in self.configs]
 
         results: List[Optional[ProbingReport]] = [None] * len(self.configs)
@@ -324,7 +342,8 @@ class ParallelProbingDriver:
                         _probe_config, self.configs[i].to_json(),
                         self.strategy, self.max_tests, self.cache_dir,
                         self.journal_dir, self.resume or attempts[i] > 0,
-                        self.fault_plan, attempts[i]): i
+                        self.fault_plan, attempts[i],
+                        time_passes=self.trace is not None): i
                     for i in remaining}
                 pending = set(futures)
                 while pending:
@@ -333,6 +352,12 @@ class ParallelProbingDriver:
                         i = futures[fut]
                         try:
                             results[i] = fut.result()
+                            if self.trace is not None \
+                                    and results[i].phase_timers is not None:
+                                # merge worker timers into the session
+                                # tree (the -time-passes aggregate)
+                                self.trace.timer.merge_dict(
+                                    results[i].phase_timers)
                             if attempts[i] > 0:
                                 results[i].worker_errors.append(
                                     f"worker died; config requeued and "

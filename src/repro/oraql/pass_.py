@@ -109,8 +109,10 @@ class OraqlAAPass:
         self.cache_enabled = cache_enabled
         self.ctx = None  # CompilationContext, set via attach()
 
-        # cache keyed on the unordered pointer pair (ids), sizes ignored
-        self.cache: Dict[FrozenSet[int], bool] = {}
+        # cache keyed on the unordered pointer pair (ids), sizes ignored;
+        # values are (optimistic, unique-query index) so a cache hit can
+        # be traced back to the sequence entry that decided it
+        self.cache: Dict[FrozenSet[int], Tuple[bool, int]] = {}
         self.records: List[QueryRecord] = []
         # Fig. 4 counters
         self.opt_unique = 0
@@ -151,18 +153,24 @@ class OraqlAAPass:
     # -- the answer -----------------------------------------------------------
     def answer(self, a: MemoryLocation, b: MemoryLocation,
                fn: Optional[Function], issuing_pass: str) -> AliasResult:
+        trace = self.ctx.trace if self.ctx is not None else None
+        scope = fn.name if fn is not None else "<module>"
         if not self.applies_to(fn):
+            if trace is not None:
+                trace.oraql_skip(scope, a, b)
             return AliasResult.MAY
 
         key = frozenset((a.ptr.id, b.ptr.id))
-        scope = fn.name if fn is not None else "<module>"
 
         if self.cache_enabled and key in self.cache:
-            optimistic = self.cache[key]
+            optimistic, index = self.cache[key]
             if optimistic:
                 self.opt_cached += 1
             else:
                 self.pess_cached += 1
+            if trace is not None:
+                trace.oraql_query(scope, a, b, optimistic, cached=True,
+                                  index=index)
             if self.dump.cached and (
                     (optimistic and self.dump.optimistic)
                     or (not optimistic and self.dump.pessimistic)):
@@ -173,7 +181,10 @@ class OraqlAAPass:
 
         index = self.sequence.consumed
         optimistic = self.sequence.next()
-        self.cache[key] = optimistic
+        self.cache[key] = (optimistic, index)
+        if trace is not None:
+            trace.oraql_query(scope, a, b, optimistic, cached=False,
+                              index=index)
         if optimistic:
             self.opt_unique += 1
         else:

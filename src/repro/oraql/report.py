@@ -95,6 +95,14 @@ def render_report(report: ProbingReport) -> str:
         for name, n in sorted(r.unique_by_pass.items(),
                               key=lambda kv: -kv[1]):
             out.append(f"  {name:<28} {n:>6} ({100.0 * n / total:.1f}%)")
+    if r.remarks:
+        out.append("")
+        out.append("optimization remarks (final compile):")
+        out.extend(f"  {line}" for line in r.remarks)
+    if r.phase_timers is not None:
+        from ..trace.timer import render_tree
+        out.append("")
+        out.append(render_tree(r.phase_timers))
     if r.pessimistic_records or r.pessimistic_dump:
         out.append("")
         out.append("pessimistic queries (true aliases):")

@@ -91,13 +91,13 @@ class MemorySSAAnalysis:
     @staticmethod
     def run(fn: Function, am: "AnalysisManager") -> MemorySSA:
         ctx = am.ctx
-        saved = ctx.aa.current_pass
         ctx.announce("Memory SSA", fn)
-        ctx.aa.current_pass = "Memory SSA"
+        ctx.push_pass("Memory SSA")
         try:
-            return MemorySSA(fn, ctx.aa, optimize_uses=True)
+            with ctx.timed("Memory SSA"):
+                return MemorySSA(fn, ctx.aa, optimize_uses=True)
         finally:
-            ctx.aa.current_pass = saved
+            ctx.pop_pass()
 
 
 FUNCTION_ANALYSES = (DominatorTreeAnalysis, LoopAnalysis, MemorySSAAnalysis)

@@ -62,6 +62,7 @@ class DSE(Pass):
                     i += 1
                     continue
                 loc = MemoryLocation.get(inst)
+                mark = ctx.trace.mark() if ctx.trace is not None else None
                 dead = False
                 for j in range(i + 1, len(insts)):
                     later = insts[j]
@@ -77,6 +78,11 @@ class DSE(Pass):
                 if dead:
                     inst.erase_from_parent()
                     ctx.stats.add(self.display_name, "# stores deleted")
+                    if ctx.trace is not None:
+                        ctx.trace.remark(
+                            self.display_name, fn.name,
+                            f"deleted dead store to "
+                            f"{inst.pointer.short()}", since=mark)
                     changed = True
                     # do not advance: insts[i] is now the next instruction
                 else:

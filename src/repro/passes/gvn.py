@@ -50,6 +50,7 @@ class GVN(Pass):
                     continue
                 if inst not in mssa.access_of:
                     continue
+                mark = ctx.trace.mark() if ctx.trace is not None else None
                 clobber = mssa.clobbering_access(inst)
                 loc = MemoryLocation.get(inst)
 
@@ -65,6 +66,11 @@ class GVN(Pass):
                             inst.erase_from_parent()
                             erased.add(inst)
                             ctx.stats.add(self.display_name, "# loads deleted")
+                            if ctx.trace is not None:
+                                ctx.trace.remark(
+                                    self.display_name, fn.name,
+                                    f"forwarded store to load "
+                                    f"{inst.short()}", since=mark)
                             changed = True
                             continue
 
@@ -88,6 +94,11 @@ class GVN(Pass):
                         inst.erase_from_parent()
                         erased.add(inst)
                         ctx.stats.add(self.display_name, "# loads deleted")
+                        if ctx.trace is not None:
+                            ctx.trace.remark(
+                                self.display_name, fn.name,
+                                f"eliminated redundant load "
+                                f"{inst.short()}", since=mark)
                         changed = True
                         replaced = True
                         break

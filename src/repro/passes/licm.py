@@ -94,6 +94,8 @@ class LICM(Pass):
                     if not all(_is_invariant(op, loop, hoisted)
                                for op in inst.operands):
                         continue
+                    mark = (ctx.trace.mark() if ctx.trace is not None
+                            else None)
                     if self._can_hoist(inst, bb, loop, writers,
                                        has_opaque_call, dominates_exits, aa):
                         bb.instructions.remove(inst)
@@ -103,6 +105,11 @@ class LICM(Pass):
                         if isinstance(inst, LoadInst):
                             ctx.stats.add(self.display_name,
                                           "# loads hoisted or sunk")
+                            if ctx.trace is not None:
+                                ctx.trace.remark(
+                                    self.display_name, fn.name,
+                                    f"hoisted load {inst.short()} to "
+                                    f"preheader", since=mark)
                         else:
                             ctx.stats.add(self.display_name,
                                           "# instructions hoisted")
@@ -211,6 +218,7 @@ class LICM(Pass):
                 store_ptrs.append((i.pointer, loc))
 
         for ptr, ploc in store_ptrs:
+            mark = ctx.trace.mark() if ctx.trace is not None else None
             group: List[Instruction] = []
             ok = True
             for i, loc in accesses:
@@ -244,6 +252,11 @@ class LICM(Pass):
             ctx.stats.add(self.display_name, "# loads hoisted or sunk",
                           sum(1 for g in group))
             ctx.stats.add(self.display_name, "# scalars promoted")
+            if ctx.trace is not None:
+                ctx.trace.remark(
+                    self.display_name, fn.name,
+                    f"promoted {ptr.short()} to a register across the "
+                    f"loop", since=mark)
             changed = True
             break  # analyses changed; promote one location per visit
         return changed

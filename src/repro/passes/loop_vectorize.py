@@ -94,11 +94,17 @@ class LoopVectorize(Pass):
             shape = self._match_shape(loop)
             if shape is None:
                 continue
+            mark = ctx.trace.mark() if ctx.trace is not None else None
             plan = self._check_legal(fn, loop, shape, ctx)
             if plan is None:
                 continue
             self._transform(fn, loop, shape, plan, ctx)
             ctx.stats.add(self.display_name, "# vectorized loops")
+            if ctx.trace is not None:
+                ctx.trace.remark(
+                    self.display_name, fn.name,
+                    f"vectorized loop at {shape.header.name} (VF={VF})",
+                    since=mark)
             # mid-run refresh: later iterations walk the rebuilt CFG
             ctx.invalidate(fn)
             changed = True

@@ -20,6 +20,7 @@ legacy invalidate-everything behavior remains available as
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Dict, List, Optional, Sequence
 
 from ..analysis import (
@@ -78,7 +79,8 @@ class CompilationContext:
                  debug_pass_executions: bool = False,
                  verify_each: bool = False,
                  verify_analyses: bool = False,
-                 invalidation: str = "fine"):
+                 invalidation: str = "fine",
+                 trace=None):
         if invalidation not in ("fine", "coarse"):
             raise ValueError(f"unknown invalidation mode {invalidation!r}")
         self.module = module
@@ -99,6 +101,15 @@ class CompilationContext:
         self.invalidation = invalidation
         self.am = AnalysisManager(self)
         self._fn_views: Dict[int, FunctionAnalyses] = {}
+        #: pass-context stack for query provenance: the top entry is the
+        #: pass currently executing; an analysis built on demand inside a
+        #: pass (Memory SSA during GVN) pushes itself so queries keep
+        #: both attributions.  Mirrors ``aa.current_pass`` (the top).
+        self.pass_stack: List[str] = []
+        self.trace = trace
+        if trace is not None:
+            trace.bind_context(self)
+            self.aa.trace = trace
 
     # -- analyses ----------------------------------------------------------
     def analyses(self, fn: Function) -> FunctionAnalyses:
@@ -119,6 +130,23 @@ class CompilationContext:
             self.am.invalidate_module(pa)
         else:
             self.am.invalidate_function(fn, pa)
+
+    # -- pass-context stack ------------------------------------------------
+    def push_pass(self, name: str) -> None:
+        self.pass_stack.append(name)
+        self.aa.current_pass = name
+
+    def pop_pass(self) -> None:
+        if self.pass_stack:
+            self.pass_stack.pop()
+        self.aa.current_pass = (self.pass_stack[-1] if self.pass_stack
+                                else "<none>")
+
+    def timed(self, name: str):
+        """A phase-timer scope when tracing, a no-op otherwise."""
+        if self.trace is not None:
+            return self.trace.phase(name)
+        return nullcontext()
 
     # -- logging --------------------------------------------------------------
     def announce(self, pass_name: str, fn: Optional[Function] = None) -> None:
@@ -173,9 +201,13 @@ class PassManager:
         for p in pipeline:
             if isinstance(p, ModulePass):
                 ctx.announce(p.display_name)
-                ctx.aa.current_pass = p.display_name
+                ctx.push_pass(p.display_name)
                 ctx.aa.current_function = None
-                pa = p.run_on_module(module, ctx)
+                try:
+                    with ctx.timed(p.display_name):
+                        pa = p.run_on_module(module, ctx)
+                finally:
+                    ctx.pop_pass()
                 if not pa.are_all_preserved():
                     ctx.am.invalidate_module(pa)
                     touched = (pa.modified_functions
@@ -193,9 +225,13 @@ class PassManager:
                 if not p.should_run_on(fn):
                     continue
                 ctx.announce(p.display_name, fn)
-                ctx.aa.current_pass = p.display_name
+                ctx.push_pass(p.display_name)
                 ctx.aa.current_function = fn
-                pa = p.run_on_function(fn, ctx)
+                try:
+                    with ctx.timed(p.display_name):
+                        pa = p.run_on_function(fn, ctx)
+                finally:
+                    ctx.pop_pass()
                 if not pa.are_all_preserved():
                     ctx.am.invalidate_function(fn, pa)
                     if ctx.verify_each:

@@ -64,9 +64,16 @@ class SLPVectorize(Pass):
             tree = self._build_tree([s.value for s in stores], bb, 0)
             if tree is None:
                 continue
+            mark = ctx.trace.mark() if ctx.trace is not None else None
             if not self._legal(bb, stores, tree, ctx):
                 continue
             self._emit(fn, bb, stores, tree, ctx)
+            if ctx.trace is not None:
+                ctx.trace.remark(
+                    self.display_name, fn.name,
+                    f"vectorized store group at "
+                    f"{stores[0].pointer.short()} (lanes={len(stores)})",
+                    since=mark)
             return True
         return False
 

@@ -39,4 +39,8 @@ class Statistics:
         return "\n".join(lines)
 
     def merge(self, other: "Statistics") -> None:
+        if other is self:
+            # self-merge would double every counter; repeated-driver
+            # scenarios reuse reporting contexts, so guard it here
+            return
         self.counters.update(other.counters)

@@ -1,0 +1,22 @@
+"""Query-provenance observability: tracing, time-passes, remarks.
+
+See DESIGN.md §5d.  The layer is strictly observational — with
+``trace=None`` (the default everywhere) no event is recorded, no clock
+is read per query, and compiled artifacts are bit-identical to a traced
+run (pinned by ``tests/test_trace_differential.py``).
+"""
+
+from .events import (RESPONDER_NONE, RESPONDER_ORAQL, RESPONDER_OVERRIDE,
+                     TRACE_FORMAT_VERSION)
+from .export import (read_chrome, read_jsonl, validate_chrome, write_chrome,
+                     write_jsonl)
+from .sink import QueryTrace
+from .timer import PhaseNode, PhaseTimer, render_tree
+
+__all__ = [
+    "QueryTrace", "PhaseTimer", "PhaseNode", "render_tree",
+    "write_jsonl", "read_jsonl", "write_chrome", "read_chrome",
+    "validate_chrome",
+    "RESPONDER_NONE", "RESPONDER_ORAQL", "RESPONDER_OVERRIDE",
+    "TRACE_FORMAT_VERSION",
+]

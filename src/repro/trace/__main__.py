@@ -1,0 +1,102 @@
+"""``python -m repro.trace`` — work with trace files offline.
+
+Subcommands::
+
+    summarize TRACE.jsonl [--compile LABEL] [--query N]
+        Rebuild the Fig. 4/Fig. 6-style tables, remark log, and
+        dangerous-query provenance from a JSONL trace alone.
+
+    chrome TRACE.jsonl -o TRACE.json
+        Convert a JSONL trace to Chrome trace_event format
+        (Perfetto-loadable).
+
+    validate TRACE.json
+        JSON-schema-check a Chrome trace document (exit 1 on problems).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from . import export, summarize as summ
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.trace",
+        description="Inspect and convert ORAQL query-provenance traces.")
+    sub = p.add_subparsers(dest="cmd", required=True)
+
+    s = sub.add_parser("summarize",
+                       help="render paper-style tables from a JSONL trace")
+    s.add_argument("trace", help="JSONL trace file (--trace-out output)")
+    s.add_argument("--compile", dest="label", default=None,
+                   help="compile label to summarize (default: last "
+                        "compile, i.e. 'final' for a full session)")
+    s.add_argument("--query", type=int, default=None, metavar="N",
+                   help="explain a single query index instead of the "
+                        "full summary")
+    s.add_argument("--timer", default=None, metavar="JSON",
+                   help="phase-timer tree JSON file to append to the "
+                        "summary")
+
+    c = sub.add_parser("chrome",
+                       help="convert a JSONL trace to Chrome trace_event")
+    c.add_argument("trace", help="JSONL trace file")
+    c.add_argument("-o", "--output", required=True,
+                   help="output .json path")
+    c.add_argument("--timer", default=None, metavar="JSON",
+                   help="phase-timer tree JSON file to embed")
+
+    v = sub.add_parser("validate",
+                       help="schema-check a Chrome trace document")
+    v.add_argument("trace", help="Chrome trace .json file")
+    return p
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.cmd == "summarize":
+        records = export.read_jsonl(args.trace)
+        timer_tree = None
+        if args.timer:
+            with open(args.timer) as f:
+                timer_tree = json.load(f)
+        if args.query is not None:
+            print(summ.explain_query(records, args.query, args.label))
+        else:
+            print(summ.summarize(records, timer_tree=timer_tree,
+                                 label=args.label))
+        return 0
+
+    if args.cmd == "chrome":
+        records = export.read_jsonl(args.trace)
+        timer_tree = None
+        if args.timer:
+            with open(args.timer) as f:
+                timer_tree = json.load(f)
+        export.write_chrome(args.output, records, timer_tree)
+        print(f"wrote {args.output}")
+        return 0
+
+    if args.cmd == "validate":
+        with open(args.trace) as f:
+            doc = json.load(f)
+        problems = export.validate_chrome(doc)
+        if problems:
+            for problem in problems:
+                print(f"invalid: {problem}", file=sys.stderr)
+            return 1
+        n = len(doc.get("traceEvents", ()))
+        print(f"valid Chrome trace ({n} events)")
+        return 0
+
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

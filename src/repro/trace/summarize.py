@@ -1,0 +1,191 @@
+"""Reconstruct paper-style tables from a trace file alone.
+
+The point of the provenance layer is that a ``--trace-out`` JSONL file
+is a self-contained artifact: :func:`summarize` rebuilds the Fig. 4
+query-count columns, a Fig. 6-style pass-statistics table, per-pass
+query attribution, the remark log, and the dangerous-query provenance
+("why is q17 pessimistic?") without re-running the compiler.
+
+All tables default to the **final** compile of the session (the one the
+driver pins the locally-maximal optimistic sequence with), which is
+what the paper's figures report.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..experiments.tables import render_table
+from . import events as ev
+from .timer import render_tree
+
+
+def _select_compile(records: Sequence[dict],
+                    label: Optional[str]) -> Tuple[str, List[dict]]:
+    """Pick one compile's records: the requested label's last occurrence,
+    or the last compile in the stream when no label is given."""
+    compiles = ev.split_compiles(records)
+    if not compiles:
+        return "<empty>", []
+    if label is None:
+        return compiles[-1]
+    for compile_label, bucket in reversed(compiles):
+        if compile_label == label:
+            return compile_label, bucket
+    known = sorted({lab for lab, _ in compiles})
+    raise ValueError(f"no compile labelled {label!r} in trace "
+                     f"(have: {', '.join(known)})")
+
+
+def session_meta(records: Sequence[dict]) -> Dict[str, str]:
+    for rec in records:
+        if rec.get("t") == "meta":
+            return {"config": rec.get("config", "?"),
+                    "strategy": rec.get("strategy", "?")}
+    return {"config": "?", "strategy": "?"}
+
+
+def pessimistic_set(records: Sequence[dict]) -> Optional[List[int]]:
+    for rec in reversed(records):
+        if rec.get("t") == "done":
+            return list(rec.get("pessimistic", ()))
+    return None
+
+
+# -- Fig. 4-style query counts ------------------------------------------------
+
+def query_counts(records: Sequence[dict],
+                 label: Optional[str] = None) -> Dict[str, int]:
+    """The Fig. 4 ORAQL columns (OptU/OptC/PessU/PessC) plus the total
+    no-alias count across the whole chain, for one compile."""
+    _, bucket = _select_compile(records, label)
+    counts = {"opt_unique": 0, "opt_cached": 0,
+              "pess_unique": 0, "pess_cached": 0,
+              "no_alias_total": 0, "queries": 0}
+    for rec in bucket:
+        if rec.get("t") != "q":
+            continue
+        counts["queries"] += 1
+        if rec.get("response") == "NoAlias":
+            counts["no_alias_total"] += 1
+        if rec.get("responder") != ev.RESPONDER_ORAQL:
+            continue
+        kind = "opt" if rec.get("optimistic") else "pess"
+        bucket_key = "cached" if rec.get("cached") else "unique"
+        counts[f"{kind}_{bucket_key}"] += 1
+    return counts
+
+
+def render_query_table(records: Sequence[dict],
+                       label: Optional[str] = None) -> str:
+    meta = session_meta(records)
+    selected, _ = _select_compile(records, label)
+    c = query_counts(records, label)
+    headers = ["Config", "Compile", "OptU", "OptC", "PessU", "PessC",
+               "NoAlias", "Queries"]
+    row = [meta["config"], selected,
+           c["opt_unique"], c["opt_cached"],
+           c["pess_unique"], c["pess_cached"],
+           c["no_alias_total"], c["queries"]]
+    return render_table(
+        headers, [row],
+        title="Alias query statistics (Fig. 4 columns, from trace)")
+
+
+# -- Fig. 6-style pass statistics ---------------------------------------------
+
+def pass_stats(records: Sequence[dict],
+               label: Optional[str] = None) -> List[Tuple[str, str, int]]:
+    _, bucket = _select_compile(records, label)
+    return [(rec["pass"], rec["stat"], rec["value"])
+            for rec in bucket if rec.get("t") == "s"]
+
+
+def render_stats_table(records: Sequence[dict],
+                       label: Optional[str] = None) -> str:
+    rows = sorted(pass_stats(records, label))
+    return render_table(
+        ["Pass", "Statistic", "Value"],
+        [[p, s, v] for p, s, v in rows],
+        title="Pass statistics (Fig. 6 style, from trace)")
+
+
+# -- provenance: who asked ----------------------------------------------------
+
+def queries_by_pass(records: Sequence[dict],
+                    label: Optional[str] = None) -> "Counter[str]":
+    _, bucket = _select_compile(records, label)
+    return Counter(rec["pass"] for rec in bucket
+                   if ev.is_oraql_query(rec))
+
+
+def render_attribution_table(records: Sequence[dict],
+                             label: Optional[str] = None) -> str:
+    counts = queries_by_pass(records, label)
+    rows = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+    return render_table(
+        ["Issuing pass", "ORAQL queries"], [[p, n] for p, n in rows],
+        title="ORAQL query attribution (from trace)")
+
+
+def explain_query(records: Sequence[dict], index: int,
+                  label: Optional[str] = None) -> str:
+    """Why is query ``index`` interesting?  Lists every occurrence
+    (issuer, function, fingerprint, answer) and every remark whose
+    transform the answer enabled — the driver uses this to print why a
+    bisected query is dangerous."""
+    _, bucket = _select_compile(records, label)
+    lines = [f"query q{index}:"]
+    for rec in bucket:
+        if ev.is_oraql_query(rec) and rec.get("index") == index:
+            hit = "cached" if rec.get("cached") else "unique"
+            lines.append(
+                f"  asked by {rec['pass']} in {rec['function']} "
+                f"on pair {rec['fp']} -> {rec['response']} ({hit})")
+    for rec in bucket:
+        if rec.get("t") == "r" and index in rec.get("queries", ()):
+            lines.append(f"  enabled: {ev.render_remark(rec)}")
+    if len(lines) == 1:
+        lines.append("  (no occurrences in this compile)")
+    return "\n".join(lines)
+
+
+def render_remarks(records: Sequence[dict],
+                   label: Optional[str] = None) -> str:
+    _, bucket = _select_compile(records, label)
+    lines = [ev.render_remark(rec) for rec in bucket
+             if rec.get("t") == "r"]
+    return "\n".join(lines) if lines else "(no remarks)"
+
+
+# -- the full summary ---------------------------------------------------------
+
+def summarize(records: Sequence[dict],
+              timer_tree: Optional[dict] = None,
+              label: Optional[str] = None,
+              normalize_times: bool = False) -> str:
+    meta = session_meta(records)
+    pess = pessimistic_set(records)
+    sections = [
+        f"=== ORAQL trace summary: {meta['config']} "
+        f"(strategy: {meta['strategy']}) ===",
+        "",
+        render_query_table(records, label),
+        "",
+        render_attribution_table(records, label),
+        "",
+        render_stats_table(records, label),
+        "",
+        "Remarks:",
+        render_remarks(records, label),
+    ]
+    if pess is not None:
+        sections += ["", "Pessimistic set: "
+                     + (", ".join(f"q{i}" for i in pess) if pess
+                        else "(empty — fully optimistic)")]
+        for index in pess:
+            sections += ["", explain_query(records, index, label)]
+    if timer_tree is not None:
+        sections += ["", render_tree(timer_tree, normalize=normalize_times)]
+    return "\n".join(sections)

@@ -1,0 +1,141 @@
+"""Hierarchical phase timer (LLVM's ``-time-passes`` equivalent).
+
+A :class:`PhaseTimer` owns a tree of :class:`PhaseNode`\\ s.  Opening a
+phase pushes a node (created on first use, found by name afterwards)
+onto a stack; closing it adds the elapsed monotonic time to the node's
+total and bumps its entry count.  Because a child only accumulates time
+while its parent is open, the tree satisfies two invariants the
+property tests pin down:
+
+* ``self_time >= 0`` for every node, and
+* ``sum(child.total) <= parent.total`` (up to clock resolution).
+
+The clock is injectable so golden tests can render a bit-deterministic
+tree, and trees serialize to plain dicts so parallel workers can ship
+their timers back for :meth:`PhaseTimer.merge`.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, List, Optional
+
+
+class PhaseNode:
+    """One phase: accumulated wall time, entry count, ordered children."""
+
+    __slots__ = ("name", "total", "count", "children")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.total = 0.0
+        self.count = 0
+        self.children: Dict[str, "PhaseNode"] = {}
+
+    def child(self, name: str) -> "PhaseNode":
+        node = self.children.get(name)
+        if node is None:
+            node = PhaseNode(name)
+            self.children[name] = node
+        return node
+
+    @property
+    def self_time(self) -> float:
+        return self.total - sum(c.total for c in self.children.values())
+
+    def merge(self, other: "PhaseNode") -> None:
+        self.total += other.total
+        self.count += other.count
+        for name, child in other.children.items():
+            self.child(name).merge(child)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "total": self.total,
+            "count": self.count,
+            "children": [c.to_dict() for c in self.children.values()],
+        }
+
+    @staticmethod
+    def from_dict(d: dict) -> "PhaseNode":
+        node = PhaseNode(d["name"])
+        node.total = float(d["total"])
+        node.count = int(d["count"])
+        for cd in d.get("children", ()):
+            node.children[cd["name"]] = PhaseNode.from_dict(cd)
+        return node
+
+
+class PhaseTimer:
+    """Stack-scoped hierarchical timing with an injectable clock."""
+
+    ROOT_NAME = "<session>"
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self.clock = clock
+        self.root = PhaseNode(self.ROOT_NAME)
+        self._stack: List[PhaseNode] = [self.root]
+
+    @contextmanager
+    def phase(self, name: str):
+        node = self._stack[-1].child(name)
+        self._stack.append(node)
+        t0 = self.clock()
+        try:
+            yield node
+        finally:
+            elapsed = self.clock() - t0
+            if elapsed > 0:
+                node.total += elapsed
+            node.count += 1
+            self._stack.pop()
+
+    # -- merging across workers / compiles --------------------------------
+    def merge(self, other: "PhaseTimer") -> None:
+        self.root.merge(other.root)
+
+    def merge_dict(self, tree: Optional[dict]) -> None:
+        if tree:
+            self.root.merge(PhaseNode.from_dict(tree))
+
+    def to_dict(self) -> dict:
+        return self.root.to_dict()
+
+    @staticmethod
+    def from_dict(tree: dict) -> "PhaseTimer":
+        t = PhaseTimer()
+        t.root = PhaseNode.from_dict(tree)
+        t._stack = [t.root]
+        return t
+
+    # -- rendering ---------------------------------------------------------
+    def render(self, normalize: bool = False) -> str:
+        return render_tree(self.to_dict(), normalize=normalize)
+
+
+def render_tree(tree: dict, normalize: bool = False) -> str:
+    """Render a serialized timer tree like ``-time-passes``.
+
+    ``normalize=True`` replaces wall-clock numbers with ``*`` so the
+    shape (nesting, ordering, counts) can be golden-tested while the
+    timings, which vary run to run, cannot fail the comparison.
+    """
+    root = PhaseNode.from_dict(tree)
+    lines = ["===-- Phase timing report --===",
+             f"{'total':>10} {'self':>10} {'count':>6}  phase"]
+
+    def fmt(seconds: float) -> str:
+        return "*" if normalize else f"{seconds:.4f}"
+
+    def walk(node: PhaseNode, depth: int) -> None:
+        indent = "  " * depth
+        lines.append(f"{fmt(node.total):>10} {fmt(node.self_time):>10} "
+                     f"{node.count:>6}  {indent}{node.name}")
+        for child in node.children.values():
+            walk(child, depth + 1)
+
+    for child in root.children.values():
+        walk(child, 0)
+    return "\n".join(lines)

@@ -1,10 +1,52 @@
-"""Shared pytest fixtures."""
+"""Shared pytest fixtures and the golden-file machinery."""
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
 from repro.ir import F64, FunctionType, I64, IRBuilder, Module, ptr
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "goldens")
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens", action="store_true", default=False,
+        help="rewrite tests/goldens/* with the currently rendered output "
+             "instead of comparing against it")
+
+
+@pytest.fixture
+def golden(request):
+    """Compare rendered text against ``tests/goldens/<name>``.
+
+    ``pytest --update-goldens`` rewrites the files instead; review the
+    diff like any other code change.
+    """
+    update = request.config.getoption("--update-goldens")
+
+    def check(name: str, text: str) -> None:
+        path = os.path.join(GOLDEN_DIR, name)
+        if not text.endswith("\n"):
+            text += "\n"
+        if update:
+            os.makedirs(GOLDEN_DIR, exist_ok=True)
+            with open(path, "w") as f:
+                f.write(text)
+            return
+        assert os.path.exists(path), (
+            f"golden file {name} missing — run "
+            f"'pytest --update-goldens' to create it")
+        with open(path) as f:
+            expected = f.read()
+        assert text == expected, (
+            f"rendered output does not match goldens/{name}; if the "
+            f"change is intended, re-run with --update-goldens and "
+            f"review the diff")
+
+    return check
 
 
 @pytest.fixture

@@ -1,0 +1,76 @@
+"""Regression tests for counter bleed across repeated-driver runs.
+
+Before the fix, a :class:`TestExecutor` reused across configurations
+carried ``retries_used``/``nondet_reruns`` (and the nondeterminism
+probe latch) from one session into the next report, and a
+``Statistics`` registry merged into itself doubled every counter.
+"""
+
+from repro.faults.injector import FaultInjector, FaultSpec
+from repro.oraql.driver import ProbingDriver
+from repro.oraql.executor import TestExecutor
+from repro.passes.statistics import Statistics
+
+from test_oraql_driver import HAZARD_SRC, SAFE_SRC, cfg_of
+
+
+class TestExecutorSessionIsolation:
+    def test_retries_do_not_bleed_into_next_report(self):
+        injector = FaultInjector([FaultSpec("compiler-error", at=0)])
+        executor = TestExecutor(injector=injector)
+
+        first = ProbingDriver(cfg_of(HAZARD_SRC, "first"),
+                              executor=executor).run()
+        assert first.retries >= 1, "the planted fault must be retried"
+
+        # same executor, second config: a clean session must report
+        # zero fault handling, not the first session's counters
+        second = ProbingDriver(cfg_of(SAFE_SRC, "second"),
+                               executor=executor).run()
+        assert second.retries == 0
+        assert second.nondet_reruns == 0
+
+    def test_mismatch_probe_latch_resets_per_session(self):
+        executor = TestExecutor()
+        ProbingDriver(cfg_of(HAZARD_SRC, "first"), executor=executor).run()
+        # the hazard session probes at least one mismatching candidate
+        assert executor._probed_mismatch
+        executor.begin_session()
+        assert not executor._probed_mismatch
+
+    def test_repeated_sessions_give_identical_reports(self):
+        executor = TestExecutor()
+        reports = [ProbingDriver(cfg_of(HAZARD_SRC, "same"),
+                                 executor=executor).run()
+                   for _ in range(2)]
+        a, b = reports
+        assert a.pessimistic_indices == b.pessimistic_indices
+        assert a.retries == b.retries == 0
+        assert a.nondet_reruns == b.nondet_reruns
+        assert a.final_program.exe_hash == b.final_program.exe_hash
+
+
+class TestStatisticsMerge:
+    def test_self_merge_is_a_noop(self):
+        stats = Statistics()
+        stats.add("LICM", "# loads hoisted", 3)
+        stats.merge(stats)
+        assert stats.get("LICM", "# loads hoisted") == 3
+
+    def test_merge_adds_distinct_registries(self):
+        a = Statistics()
+        a.add("LICM", "# loads hoisted", 3)
+        b = Statistics()
+        b.add("LICM", "# loads hoisted", 2)
+        b.add("DSE", "# stores deleted", 1)
+        a.merge(b)
+        assert a.get("LICM", "# loads hoisted") == 5
+        assert a.get("DSE", "# stores deleted") == 1
+
+    def test_report_rows_stable_after_self_merge(self):
+        stats = Statistics()
+        stats.add("GVN", "# loads eliminated", 7)
+        before = stats.report()
+        for _ in range(3):
+            stats.merge(stats)
+        assert stats.report() == before

@@ -1,0 +1,77 @@
+"""Golden tests for every human-readable observability surface.
+
+Each test renders text from a fixed-seed workload (or a fake clock) and
+compares it byte-for-byte against ``tests/goldens/``.  Regenerate with
+``pytest tests/test_trace_goldens.py --update-goldens`` and review the
+diff like any other code change.
+"""
+
+import pytest
+
+from repro.oraql.driver import ProbingDriver
+from repro.oraql.report import render_report
+from repro.trace import QueryTrace, PhaseTimer
+from repro.trace import summarize
+from repro.trace.timer import render_tree
+
+from test_oraql_driver import HAZARD_SRC, SAFE_SRC, cfg_of
+from test_trace_layer import FakeClock
+
+
+@pytest.fixture(scope="module")
+def hazard_trace():
+    trace = QueryTrace(clock=FakeClock(step=0.5))
+    report = ProbingDriver(cfg_of(HAZARD_SRC, "hazard"), trace=trace).run()
+    return trace, report
+
+
+def test_statistics_report_golden(hazard_trace, golden):
+    _, report = hazard_trace
+    golden("stats_report.txt", report.final_program.stats.report())
+
+
+def test_phase_timer_tree_golden(hazard_trace, golden):
+    # the fake clock makes every phase enter/exit cost exactly 0.5s, so
+    # the tree (names, nesting, counts, totals) is fully deterministic
+    trace, _ = hazard_trace
+    golden("phase_timer_tree.txt", render_tree(trace.timer.to_dict()))
+
+
+def test_phase_timer_normalized_golden(golden):
+    t = PhaseTimer(clock=FakeClock())
+    with t.phase("frontend"):
+        pass
+    with t.phase("passes"):
+        with t.phase("GVN"):
+            pass
+        with t.phase("GVN"):
+            pass
+    with t.phase("vm-run"):
+        pass
+    golden("phase_timer_normalized.txt", t.render(normalize=True))
+
+
+def test_remark_lines_golden(hazard_trace, golden):
+    trace, _ = hazard_trace
+    golden("remarks_final.txt", "\n".join(trace.remark_lines("final")))
+
+
+def test_driver_report_golden(hazard_trace, golden):
+    # remarks ride along in the report; phase timers are wall-clock so
+    # the report golden swaps in the fake-clock tree unchanged
+    _, report = hazard_trace
+    golden("driver_report.txt", render_report(report))
+
+
+def test_summarize_golden(hazard_trace, golden):
+    trace, _ = hazard_trace
+    golden("trace_summary.txt",
+           summarize.summarize(trace.records, trace.timer.to_dict()))
+
+
+def test_query_table_safe_golden(golden):
+    # second workload: fully optimistic, exercises the empty
+    # pessimistic-set rendering paths
+    trace = QueryTrace()
+    ProbingDriver(cfg_of(SAFE_SRC, "safe"), trace=trace).run()
+    golden("trace_summary_safe.txt", summarize.summarize(trace.records))

@@ -1,0 +1,181 @@
+"""Property-based tests (Hypothesis) for the trace layer.
+
+Three invariant families from the issue:
+
+1. exporter round-trips — any well-formed record stream survives
+   JSONL *and* Chrome trace_event export/parse bit-identically;
+2. timer invariants — for any phase-entry sequence, every node has
+   ``self_time >= 0`` and its children's totals sum to <= its total;
+3. provenance completeness — every query ORAQL answers during a real
+   probing session appears in the trace exactly once, with its index.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.oraql.driver import ProbingDriver
+from repro.trace import PhaseTimer, QueryTrace
+from repro.trace import events as ev
+from repro.trace import export
+
+from test_oraql_driver import HAZARD_SRC, cfg_of
+from test_trace_layer import FakeClock
+
+# -- record-stream strategy --------------------------------------------
+
+_name = st.text(
+    alphabet=st.characters(whitelist_categories=("L", "N"),
+                           whitelist_characters="_.%- "),
+    min_size=1, max_size=12)
+_responder = st.sampled_from(
+    ["tbaa", "basic-aa", ev.RESPONDER_ORAQL, ev.RESPONDER_OVERRIDE,
+     ev.RESPONDER_NONE])
+
+
+@st.composite
+def _query_records(draw):
+    responder = draw(_responder)
+    kwargs = {}
+    if responder == ev.RESPONDER_ORAQL:
+        kwargs = dict(cached=draw(st.booleans()),
+                      index=draw(st.integers(0, 99)),
+                      optimistic=draw(st.booleans()))
+    stack = draw(st.lists(_name, max_size=3))
+    return ev.query_record(
+        stack[-1] if stack else "<none>", stack, draw(_name),
+        draw(st.text("0123456789abcdef", min_size=12, max_size=12)),
+        responder, draw(st.sampled_from(["NoAlias", "MayAlias"])),
+        **kwargs)
+
+
+_records = st.lists(
+    st.one_of(
+        st.builds(ev.meta_record, _name,
+                  st.sampled_from(["chunked", "frequency"])),
+        st.builds(ev.compile_record, st.integers(1, 9), _name,
+                  st.one_of(st.none(),
+                            st.lists(st.integers(0, 1), max_size=6))),
+        _query_records(),
+        st.builds(ev.remark_record, _name, _name, _name,
+                  st.lists(st.integers(0, 99), max_size=4)),
+        st.builds(ev.stat_record, _name, _name, st.integers(0, 10**6)),
+        st.builds(ev.done_record, st.lists(st.integers(0, 99), max_size=6)),
+    ),
+    max_size=30)
+
+
+@given(_records)
+@settings(max_examples=60)
+def test_jsonl_roundtrip(tmp_path_factory, records):
+    path = str(tmp_path_factory.mktemp("jsonl") / "t.jsonl")
+    export.write_jsonl(path, records)
+    assert export.read_jsonl(path) == records
+
+
+@given(_records)
+@settings(max_examples=60)
+def test_chrome_roundtrip_is_lossless_and_valid(records):
+    doc = export.chrome_document(records)
+    assert export.validate_chrome(doc) == []
+    back, _tree = export.parse_chrome(doc)
+    assert back == records
+
+
+# -- timer invariants --------------------------------------------------
+
+# a phase program: push (name) / pop instructions, interpreted with a
+# bounded stack so pops never underflow
+_phase_prog = st.lists(
+    st.one_of(st.sampled_from(["frontend", "passes", "GVN", "LICM",
+                               "codegen", "vm-run"]),
+              st.just(None)),  # None = pop
+    max_size=40)
+
+
+def _run_program(prog, clock):
+    timer = PhaseTimer(clock=clock)
+    open_cms = []
+    for op in prog:
+        if op is None:
+            if open_cms:
+                open_cms.pop().__exit__(None, None, None)
+        elif len(open_cms) < 6:
+            cm = timer.phase(op)
+            cm.__enter__()
+            open_cms.append(cm)
+    while open_cms:
+        open_cms.pop().__exit__(None, None, None)
+    return timer
+
+
+def _check_node(node, is_root=False):
+    assert node.total >= 0
+    if not is_root:
+        # the synthetic root never runs as a phase itself, so its own
+        # total stays 0; the invariants hold for every real phase node
+        assert node.self_time >= -1e-9
+        assert (sum(c.total for c in node.children.values())
+                <= node.total + 1e-9)
+    for child in node.children.values():
+        _check_node(child)
+
+
+@given(_phase_prog, st.floats(0.001, 2.0))
+@settings(max_examples=80)
+def test_timer_tree_invariants(prog, step):
+    timer = _run_program(prog, FakeClock(step=step))
+    _check_node(timer.root, is_root=True)
+    # the dict form preserves the invariants through a round-trip
+    back = PhaseTimer.from_dict(timer.to_dict())
+    _check_node(back.root, is_root=True)
+    assert back.to_dict() == timer.to_dict()
+
+
+@given(_phase_prog, _phase_prog)
+@settings(max_examples=40)
+def test_timer_merge_preserves_invariants_and_counts(prog_a, prog_b):
+    a = _run_program(prog_a, FakeClock())
+    b = _run_program(prog_b, FakeClock())
+    count_a = a.root.children.get("passes")
+    count_b = b.root.children.get("passes")
+    expected = ((count_a.count if count_a else 0)
+                + (count_b.count if count_b else 0))
+    a.merge_dict(b.to_dict())
+    _check_node(a.root, is_root=True)
+    merged = a.root.children.get("passes")
+    assert (merged.count if merged else 0) == expected
+
+
+# -- provenance completeness ------------------------------------------
+
+@settings(max_examples=5, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.sampled_from(["chunked", "frequency"]))
+def test_provenance_completeness(strategy):
+    """Every unique ORAQL answer of the final compile appears in the
+    trace exactly once as an uncached query event carrying its index;
+    cached re-asks reference an already-introduced index."""
+    trace = QueryTrace()
+    report = ProbingDriver(cfg_of(HAZARD_SRC, "hazard"),
+                           strategy=strategy, trace=trace).run()
+    final = trace.query_records("final")
+    oraql = [r for r in final if r["responder"] == ev.RESPONDER_ORAQL]
+    unique = [r for r in oraql if not r["cached"]]
+    cached = [r for r in oraql if r["cached"]]
+    n_unique = report.opt_unique + report.pess_unique
+    assert sorted(r["index"] for r in unique) == list(range(n_unique))
+    assert len(cached) == report.opt_cached + report.pess_cached
+    seen = set()
+    for r in oraql:
+        if r["cached"]:
+            assert r["index"] in seen
+        else:
+            assert r["index"] not in seen
+            seen.add(r["index"])
+        # every event names its issuing pass and enclosing function
+        assert r["pass"] and r["function"]
+        assert len(r["fp"]) == 12
+    # pessimistic indices in the done record are answered pessimistically
+    pess = set(report.pessimistic_indices)
+    for r in unique:
+        assert r["optimistic"] == (r["index"] not in pess)
