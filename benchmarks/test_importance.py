@@ -1,0 +1,107 @@
+"""Fig. 5, measured — importance mining on real workloads.
+
+The acceptance bar for the importance driver: on each benchmarked
+workload, the mined important-query subset *alone* must recover at
+least 95% of the cycle savings the full safe optimistic set buys, every
+important query must be attributed to its issuing pass via the trace
+layer, and a killed-and-resumed session must reproduce the fresh run
+bit-identically.
+"""
+
+import pytest
+
+import repro.workloads  # noqa: F401 — registers all variants
+from repro.experiments.fig5_importance import (
+    DEFAULT_WORKLOADS,
+    render_fig5_importance,
+    render_fig5_importance_many,
+)
+from repro.oraql import ImportanceDriver
+from repro.workloads.base import get_config
+
+from conftest import save_result
+
+
+@pytest.fixture(scope="module")
+def importance_reports():
+    return {name: ImportanceDriver(get_config(name)).run()
+            for name in DEFAULT_WORKLOADS}
+
+
+def test_fig5_importance_tables(benchmark, once, importance_reports):
+    text = once(benchmark, render_fig5_importance_many,
+                list(importance_reports.values()))
+    save_result("fig5_importance", text)
+    print("\n" + text)
+    assert text.count("Fig. 5 (measured)") == len(DEFAULT_WORKLOADS)
+
+
+@pytest.mark.parametrize("name", DEFAULT_WORKLOADS)
+def test_important_subset_recovers_the_win(name, importance_reports):
+    rep = importance_reports[name]
+    assert not rep.partial
+    assert rep.total_savings > 0, \
+        f"{name} must have a real optimism win to mine"
+    assert rep.important, f"{name}: no important queries found"
+    # the pruned set is a strict subset that keeps (almost) all value
+    assert len(rep.important) < rep.safe_queries
+    assert rep.recovered_percent >= 95.0, (
+        f"{name}: important subset recovers only "
+        f"{rep.recovered_percent:.1f}% of the optimism win")
+
+
+@pytest.mark.parametrize("name", DEFAULT_WORKLOADS)
+def test_important_queries_have_provenance(name, importance_reports):
+    rep = importance_reports[name]
+    for q in rep.important:
+        assert q.issuing_pass != "?", f"q{q.index} lost its issuer"
+        assert q.function, f"q{q.index} lost its function"
+        assert q.fingerprint, f"q{q.index} lost its pointer fingerprint"
+    # cycle savings come from enabled transforms, which leave remarks
+    linked = [q for q in rep.important if q.remarks]
+    assert linked, f"{name}: no important query links to a remark"
+
+
+@pytest.mark.parametrize("name", DEFAULT_WORKLOADS)
+def test_strict_cost_model_clean(name, importance_reports):
+    rep = importance_reports[name]
+    assert rep.unknown_opcodes == {}
+    assert rep.unknown_intrinsics == {}
+
+
+def test_resume_reproduces_fresh_run(tmp_path, importance_reports):
+    # kill the session partway through the measurement phase, resume
+    # from the journal, and require the mined result bit-identical
+    from repro.faults.injector import (
+        FaultInjector,
+        FaultSpec,
+        SessionKilled,
+    )
+    name = "MiniGMG-ompif"
+    ref = ImportanceDriver(get_config(name)).run()
+    jdir = str(tmp_path / "journal")
+    kill_at = ref.probing.tests_run + 3
+    with pytest.raises(SessionKilled):
+        ImportanceDriver(get_config(name), journal_dir=jdir,
+                         injector=FaultInjector(
+                             [FaultSpec("session-kill", at=kill_at)])).run()
+    rep = ImportanceDriver(get_config(name), journal_dir=jdir,
+                           resume=True).run()
+    assert rep.measurements_replayed > 0
+    assert [q.index for q in rep.important] \
+        == [q.index for q in ref.important]
+    assert [(p.k, p.added, p.cycles) for p in rep.pareto] \
+        == [(p.k, p.added, p.cycles) for p in ref.pareto]
+    assert rep.baseline_cycles == ref.baseline_cycles
+    assert rep.optimal_cycles == ref.optimal_cycles
+
+
+def test_pareto_prefix_dominates(importance_reports):
+    # the headline Fig. 5 claim on the richest workload: a small prefix
+    # of the value-ordered important set already recovers most of the
+    # win, and the full important set recovers >= 95%
+    rep = importance_reports["MiniGMG-omptask"]
+    final = rep.pareto[-1]
+    assert final.percent_of_full >= 95.0
+    table = render_fig5_importance(rep)
+    assert "V0" in table and "V*" in table

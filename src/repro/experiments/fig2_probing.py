@@ -11,8 +11,9 @@ reporting the number of tests each needs.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import List, Sequence, Set
+from typing import Deque, List, Sequence, Set, Tuple
 
 from ..oraql.driver import ProbingDriver
 from ..oraql.sequence import DecisionSequence
@@ -71,9 +72,12 @@ def probe_chunked(oracle: SyntheticOracle) -> Set[int]:
 def probe_frequency(oracle: SyntheticOracle) -> Set[int]:
     accepted: Set[int] = set()
     dangerous: Set[int] = set()
-    work = [(1, 0)]
+    # consumed from the left thousands of times on clustered layouts:
+    # a deque's popleft is O(1) where list.pop(0) made the worklist
+    # O(n²) (the same fix the real driver's _probe_frequency got)
+    work: Deque[Tuple[int, int]] = deque([(1, 0)])
     while work:
-        mod, res = work.pop(0)
+        mod, res = work.popleft()
         idxs = [i for i in range(res, oracle.n, mod)
                 if i not in accepted and i not in dangerous]
         if not idxs:

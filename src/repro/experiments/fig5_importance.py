@@ -1,0 +1,114 @@
+"""Fig. 5, measured: the versions table the importance driver produces.
+
+``fig5_versions`` reproduces the *shape* of the paper's versions file —
+the hand-curated list of increasingly-optimistic program versions.  This
+module produces the same table from measurement: the importance driver
+mines the safe optimistic set for the queries whose optimism buys more
+than ``significant_percent`` of baseline cycles, and each Pareto prefix
+of the value-ordered important set becomes one version row — from V0
+(all may-alias) to the full safe set — with its measured cycles, the
+savings recovered so far, and the transform the newly-added query
+enables.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..oraql.importance import ImportanceDriver, ImportanceReport
+from .tables import render_table
+
+#: the benchmark-smoke trio: distinct programming models, each with a
+#: measured optimism win large enough to mine (see benchmarks/)
+DEFAULT_WORKLOADS = ("MiniGMG-omptask", "TestSNAP-seq", "LULESH-seq")
+
+
+@dataclass
+class VersionRow:
+    """One program version: a prefix of the important set kept
+    optimistic, everything else answered may-alias."""
+
+    version: str
+    kept: str               # which query this version adds (or a label)
+    enables: str            # the transform the added query enables
+    cycles: float
+    saved: float
+    percent_of_full: float  # of the full optimistic set's savings
+
+    def cells(self) -> List:
+        return [self.version, self.kept, self.enables,
+                f"{self.cycles:.0f}", f"{self.saved:.0f}",
+                f"{self.percent_of_full:.1f}%"]
+
+
+def version_rows(report: ImportanceReport) -> List[VersionRow]:
+    """The versions table for one mined config: V0 (baseline) through
+    the Pareto prefixes to V* (the full safe optimistic set)."""
+    by_index = {q.index: q for q in report.important}
+    rows: List[VersionRow] = []
+    for p in report.pareto:
+        if p.added is None:
+            rows.append(VersionRow("V0", "(all may-alias)", "-",
+                                   p.cycles, p.cycles_saved,
+                                   p.percent_of_full))
+            continue
+        q = by_index.get(p.added)
+        enables = "-"
+        if q is not None and q.remarks:
+            # first enabling remark, without the boilerplate prefix
+            enables = q.remarks[0]
+            if enables.startswith("remark: "):
+                enables = enables[len("remark: "):]
+            enables = enables.split(" because ")[0]
+        value = ("required" if q is not None
+                 and math.isinf(q.cycles_saved) else "")
+        kept = f"+q{p.added}" + (f" [{value}]" if value else "")
+        rows.append(VersionRow(f"V{p.k}", kept, enables,
+                               p.cycles, p.cycles_saved,
+                               p.percent_of_full))
+    rows.append(VersionRow(
+        "V*", f"(all {report.safe_queries} safe)", "-",
+        report.optimal_cycles, report.total_savings,
+        100.0 if report.total_savings > 0 else 0.0))
+    return rows
+
+
+HEADERS = ["version", "keeps optimistic", "enables",
+           "cycles", "saved", "% of win"]
+
+
+def render_fig5_importance(report: ImportanceReport) -> str:
+    title = (f"Fig. 5 (measured) — versions of {report.config_name}: "
+             f"{len(report.important)} of {report.safe_queries} safe "
+             f"queries are important "
+             f"(>{report.significant_percent:g}% of baseline)")
+    return render_table(HEADERS, [r.cells() for r in version_rows(report)],
+                        title=title)
+
+
+def run_fig5_importance(
+        workloads: Sequence[str] = DEFAULT_WORKLOADS,
+        significant_percent: float = 2.0,
+        recover_percent: float = 95.0,
+        strategy: str = "chunked",
+        cache_dir: Optional[str] = None,
+        journal_dir: Optional[str] = None) -> List[ImportanceReport]:
+    from ..oraql.cache import VerdictCache
+    from ..workloads.base import get_config
+    cache = VerdictCache(cache_dir) if cache_dir else None
+    reports: List[ImportanceReport] = []
+    for name in workloads:
+        reports.append(ImportanceDriver(
+            get_config(name), strategy=strategy,
+            significant_percent=significant_percent,
+            recover_percent=recover_percent,
+            verdict_cache=cache, journal_dir=journal_dir).run())
+    return reports
+
+
+def render_fig5_importance_many(reports: Sequence[ImportanceReport]) -> str:
+    out = [render_fig5_importance(r) for r in reports]
+    out.append("\n".join(r.summary() for r in reports))
+    return "\n\n".join(out)

@@ -11,12 +11,35 @@ from .driver import (
     TestBudgetExhausted,
 )
 from .errors import FlakyConfigError, JournalError, ProbingError
-from .executor import ExecutorPolicy, TestExecutor, TestOutcome
+from .executor import (
+    ExecutorPolicy,
+    TestExecutor,
+    TestOutcome,
+    is_transient_compiler_fault,
+)
+from .importance import (
+    ImportanceDriver,
+    ImportanceReport,
+    ImportantQuery,
+    Measurement,
+    MeasurementBudgetExhausted,
+    MeasuredCycleOracle,
+    MiningResult,
+    ParetoPoint,
+    SyntheticCycleOracle,
+    attribute_queries,
+    mine_important,
+)
 from .journal import JOURNAL_SCHEMA_VERSION, SessionJournal
 from .override import ChainValueReport, OraqlOverridePass, measure_chain_value
 from .parallel import ParallelProbingDriver, SpeculativeProbingDriver
 from .pass_ import DumpFlags, OraqlAAPass, QueryRecord
-from .report import render_pessimistic_dump, render_query, render_report
+from .report import (
+    render_importance_report,
+    render_pessimistic_dump,
+    render_query,
+    render_report,
+)
 from .sequence import (
     ARG_MAX,
     DecisionSequence,

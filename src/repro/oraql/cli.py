@@ -11,6 +11,7 @@ Examples::
     oraql --workload TestSNAP-openmp --dump-pessimistic --dump-first
     oraql --config my_benchmark.json --strategy frequency
     oraql --fig 4          # regenerate a paper table/figure
+    oraql importance --workload MiniGMG-omptask --significant-percent 2
 """
 
 from __future__ import annotations
@@ -33,9 +34,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="list bundled workload configurations")
     p.add_argument("--strategy", choices=["chunked", "frequency"],
                    default="chunked")
-    p.add_argument("--fig", choices=["2", "3", "4", "5", "6", "7",
+    p.add_argument("--fig", choices=["2", "3", "4", "5", "5m", "6", "7",
                                      "runtimes"],
-                   help="regenerate a paper table/figure")
+                   help="regenerate a paper table/figure ('5m' is the "
+                        "measured Fig. 5 versions table from importance "
+                        "mining)")
     p.add_argument("--dump-first", action="store_true")
     p.add_argument("--dump-cached", action="store_true")
     p.add_argument("--dump-optimistic", action="store_true")
@@ -99,7 +102,111 @@ def build_parser() -> argparse.ArgumentParser:
     return p
 
 
+def build_importance_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="oraql importance",
+        description="Second-phase importance mining: bisect the safe "
+                    "optimistic set by measured cycle delta to find the "
+                    "queries whose optimism actually buys cycles.")
+    p.add_argument("--config", help="benchmark configuration JSON file")
+    p.add_argument("--workload", help="bundled workload row name "
+                                      "(see 'oraql --list')")
+    p.add_argument("--strategy", choices=["chunked", "frequency"],
+                   default="chunked",
+                   help="probing strategy for phase 1")
+    p.add_argument("--significant-percent", type=float, default=2.0,
+                   metavar="PCT",
+                   help="significance bar: a flip is important when it "
+                        "costs more than PCT%% of baseline cycles "
+                        "(default 2, the original driver's "
+                        "significant_percentage)")
+    p.add_argument("--recover-percent", type=float, default=95.0,
+                   metavar="PCT",
+                   help="refinement target: keep mining until the "
+                        "important set alone recovers PCT%% of the full "
+                        "optimism win (default 95)")
+    p.add_argument("--max-tests", type=int, default=10_000,
+                   help="phase-1 probing test budget")
+    p.add_argument("--max-measurements", type=int, default=2000,
+                   help="phase-2 cycle-measurement budget (VM runs; "
+                        "cache hits are free)")
+    p.add_argument("--cache-dir", metavar="DIR",
+                   help="directory for the persistent verdict cache")
+    p.add_argument("--journal", metavar="DIR",
+                   help="directory for append-only session journals "
+                        "(probing verdicts and cycle measurements)")
+    p.add_argument("--resume", action="store_true",
+                   help="replay both session journals under --journal: "
+                        "the resumed run retraces the interrupted one "
+                        "bit-identically, measurements served from cache")
+    p.add_argument("--retries", type=int, default=2, metavar="N")
+    p.add_argument("--test-fuel", type=int, default=None, metavar="N")
+    p.add_argument("--test-wall-clock", type=float, default=None,
+                   metavar="SEC")
+    p.add_argument("--lenient-cost", action="store_true",
+                   help="price unknown opcodes/intrinsics with default "
+                        "costs instead of crashing (measurements may be "
+                        "distorted; the report flags what was unpriced)")
+    return p
+
+
+def importance_main(argv: Optional[List[str]] = None) -> int:
+    parser = build_importance_parser()
+    args = parser.parse_args(argv)
+    if args.resume and not args.journal:
+        parser.error("--resume requires --journal DIR")
+    if args.retries < 0:
+        parser.error(f"--retries must be >= 0 (got {args.retries})")
+    if args.significant_percent < 0:
+        parser.error("--significant-percent must be >= 0")
+    if not 0 < args.recover_percent <= 100:
+        parser.error("--recover-percent must be in (0, 100]")
+
+    from .config import BenchmarkConfig
+    if args.workload:
+        from ..workloads.base import get_config
+        cfg = get_config(args.workload)
+    elif args.config:
+        with open(args.config) as f:
+            cfg = BenchmarkConfig.from_json(f.read())
+    else:
+        print("error: one of --config / --workload is required",
+              file=sys.stderr)
+        return 2
+
+    from .cache import VerdictCache
+    from .errors import ProbingError
+    from .executor import ExecutorPolicy
+    from .importance import ImportanceDriver
+    from .report import render_importance_report
+    policy = ExecutorPolicy(fuel=args.test_fuel,
+                            wall_clock=args.test_wall_clock,
+                            retries=args.retries)
+    cache = VerdictCache(args.cache_dir) if args.cache_dir else None
+    try:
+        report = ImportanceDriver(
+            cfg, strategy=args.strategy,
+            significant_percent=args.significant_percent,
+            recover_percent=args.recover_percent,
+            max_tests=args.max_tests,
+            max_measurements=args.max_measurements,
+            policy=policy, verdict_cache=cache,
+            journal_dir=args.journal, resume=args.resume,
+            strict_cost=not args.lenient_cost).run()
+    except ProbingError as e:
+        print(f"error: {e}", file=sys.stderr)
+        if e.explain:
+            print(e.explain, file=sys.stderr)
+        return 1
+    print(render_importance_report(report))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "importance":
+        return importance_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.jobs < 1:
@@ -219,6 +326,9 @@ def _run_fig(which: str, jobs: int = 1,
         print(ex.render_fig4(ex.run_fig4(jobs=jobs, cache_dir=cache_dir)))
     elif which == "5":
         print(ex.render_fig5())
+    elif which == "5m":
+        print(ex.render_fig5_importance_many(
+            ex.run_fig5_importance(cache_dir=cache_dir)))
     elif which == "6":
         print(ex.render_fig6(ex.run_fig6()))
     elif which == "7":

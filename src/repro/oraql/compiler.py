@@ -40,27 +40,32 @@ class CompiledProgram:
 
     # -- execution ---------------------------------------------------------
     def run(self, fuel: Optional[int] = None,
-            wall_clock: Optional[float] = None) -> RunResult:
+            wall_clock: Optional[float] = None,
+            cost_model=None) -> RunResult:
         """Execute the program on the VM.
 
         ``fuel`` overrides the config's instruction budget and
         ``wall_clock`` arms a per-run wall-clock deadline — the probing
         runtime's per-test budgets (a miscompiled binary may loop
         forever; the budget turns that into a ``step-limit`` triage
-        instead of a hung driver)."""
+        instead of a hung driver).  ``cost_model`` overrides the VM's
+        default :class:`~repro.vm.CostModel` — measurement sessions pass
+        a strict model so unpriced operations crash loudly instead of
+        silently distorting cycle deltas."""
         cfg = self.config
         max_steps = cfg.max_steps if fuel is None else fuel
         trace = self.ctx.trace
         with (trace.phase("vm-run") if trace is not None
               else nullcontext()):
-            return self._run(cfg, max_steps, wall_clock)
+            return self._run(cfg, max_steps, wall_clock, cost_model)
 
     def _run(self, cfg: BenchmarkConfig, max_steps: int,
-             wall_clock: Optional[float]) -> RunResult:
+             wall_clock: Optional[float], cost_model=None) -> RunResult:
         try:
             if cfg.nranks > 1:
                 machines = [
                     Machine(self.module, max_steps=max_steps,
+                            cost_model=cost_model,
                             kernel_info=self.kernel_info,
                             num_threads=cfg.num_threads, argv=cfg.argv,
                             wall_clock=wall_clock)
@@ -86,6 +91,7 @@ class CompiledProgram:
                 return RunResult(out, state, err, insts, cycles, kcycles,
                                  error_kind=kind)
             m = Machine(self.module, max_steps=max_steps,
+                        cost_model=cost_model,
                         kernel_info=self.kernel_info,
                         num_threads=cfg.num_threads, argv=cfg.argv,
                         wall_clock=wall_clock)
@@ -160,6 +166,14 @@ class Compiler:
         #    sequence is consumed in deterministic source order
         oraql: Optional[OraqlAAPass] = None
         if oraql_enabled:
+            # a reused sequence object must answer from the top: unique-
+            # query indices are positions in the decision stream, and a
+            # sequence carried over from a previous compile (a report's
+            # final_sequence measured again by the importance driver)
+            # would shift the whole index space by its consumed count,
+            # silently detaching provenance from the real queries
+            if sequence is not None:
+                sequence.reset()
             oraql = OraqlAAPass(
                 sequence=sequence if sequence is not None
                 else DecisionSequence(),

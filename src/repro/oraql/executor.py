@@ -28,7 +28,12 @@ import time
 from dataclasses import dataclass, replace
 from typing import Optional
 
-from ..faults.injector import HANG_FUEL, FaultInjector, InjectedCompilerError
+from ..faults.injector import (
+    HANG_FUEL,
+    FaultInjector,
+    InjectedCompilerError,
+    SessionKilled,
+)
 from .compiler import CompiledProgram, Compiler
 from .config import BenchmarkConfig
 from .errors import ProbingError
@@ -40,6 +45,30 @@ from .verify import (
     RunResult,
     VerificationScript,
 )
+
+
+def is_transient_compiler_fault(exc: BaseException) -> bool:
+    """Should this compiler exception be retried with backoff?
+
+    Only *infrastructure* fault classes are transient: injected faults,
+    OS-level failures (full disk, interrupted syscalls), resource
+    exhaustion, and generic runtime faults.  Deterministic compiler
+    failures — IR verifier errors, frontend parse/codegen errors, plain
+    programming errors — will fail identically on every attempt, so
+    retrying them only burns wall-clock and retry budget before the
+    inevitable ``compiler-error`` triage.
+
+    :class:`SessionKilled` and :class:`ProbingError` are neither: they
+    must unwind to the session owner untouched.
+    """
+    if isinstance(exc, (SessionKilled, ProbingError)):
+        return False
+    if isinstance(exc, (InjectedCompilerError, OSError, MemoryError)):
+        return True
+    # a bare RuntimeError is the classic transient-infrastructure shape
+    # (and what the fault-injection harness's stand-ins raise); its
+    # deterministic subclasses were excluded above
+    return type(exc) is RuntimeError
 
 
 @dataclass
@@ -143,11 +172,15 @@ class TestExecutor:
     def compile(self, config: BenchmarkConfig,
                 sequence: Optional[DecisionSequence],
                 oraql_enabled: bool = True) -> CompiledProgram:
-        """Compile, retrying transient compiler faults with backoff.
+        """Compile, retrying *transient* compiler faults with backoff.
 
         A compiler exception is an *infrastructure* failure, never a
-        test verdict: after the retry budget it surfaces as a
-        :class:`ProbingError` with ``compiler-error`` triage."""
+        test verdict: it surfaces as a :class:`ProbingError` with
+        ``compiler-error`` triage.  Only transient fault classes
+        (:func:`is_transient_compiler_fault`) consume the retry budget —
+        a deterministic failure (IR verifier error, frontend error)
+        fails identically every time, so it is raised for triage
+        immediately instead of wasting ``retries`` backoff rounds."""
         attempt = 0
         while True:
             try:
@@ -159,9 +192,12 @@ class TestExecutor:
                 return self.compiler.compile(config, sequence=sequence,
                                              oraql_enabled=oraql_enabled,
                                              trace=self.trace)
+            except (SessionKilled, ProbingError):
+                raise  # not compiler faults: unwind to the session owner
             except Exception as e:
                 attempt += 1
-                if attempt > self.policy.retries:
+                if not is_transient_compiler_fault(e) \
+                        or attempt > self.policy.retries:
                     raise ProbingError(
                         f"compilation failed after {attempt} attempt(s)",
                         triage=TRIAGE_COMPILER_ERROR,

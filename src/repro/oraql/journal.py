@@ -29,7 +29,13 @@ misread:
   one per newly learned verdict, appended *before* the verdict is acted
   on, flushed + fsync'd so a kill at any instruction loses at most the
   probe in flight;
+* ``{"t": "measure", "exe": ..., "cycles": ..., "ok": ...}`` — one per
+  cycle measurement of the importance driver (same durability contract
+  as probes; replayed into :attr:`SessionJournal.measured`);
 * ``{"t": "done", "pessimistic": [...]}`` — terminal marker.
+
+Records of unknown kinds are skipped (not counted as corruption), so a
+journal written by a newer schema minor-extension replays what it can.
 """
 
 from __future__ import annotations
@@ -87,6 +93,9 @@ class SessionJournal:
         self.strategy = strategy
         #: exe hash -> (ok, unique_queries, triage) replayed on resume
         self.replayed: Dict[str, Tuple[bool, int, str]] = {}
+        #: exe hash -> (cycles, ok) cycle measurements replayed on
+        #: resume (importance sessions)
+        self.measured: Dict[str, Tuple[float, bool]] = {}
         #: torn / CRC-failed / undecodable lines skipped during replay
         self.corrupt_records = 0
         #: appends lost to OSError (full/readonly disk) — the session
@@ -160,6 +169,14 @@ class SessionJournal:
                                           ("ok" if ok else "wrong-output"))
                 else:
                     self.corrupt_records += 1
+            elif kind == "measure":
+                exe, cycles, ok = rec.get("exe"), rec.get("cycles"), \
+                    rec.get("ok")
+                if isinstance(exe, str) and isinstance(cycles, (int, float)) \
+                        and isinstance(ok, bool):
+                    self.measured[exe] = (float(cycles), ok)
+                else:
+                    self.corrupt_records += 1
             elif kind == "done":
                 self.completed = True
                 self.pessimistic_from_done = rec.get("pessimistic")
@@ -188,6 +205,11 @@ class SessionJournal:
                      triage: str) -> None:
         self._append({"t": "probe", "exe": exe_hash, "ok": ok,
                       "n": unique_queries, "triage": triage})
+
+    def record_measure(self, exe_hash: str, cycles: float,
+                       ok: bool) -> None:
+        self._append({"t": "measure", "exe": exe_hash, "cycles": cycles,
+                      "ok": ok})
 
     def record_done(self, pessimistic_indices) -> None:
         self._append({"t": "done",

@@ -108,3 +108,59 @@ def render_report(report: ProbingReport) -> str:
         out.append("pessimistic queries (true aliases):")
         out.append(render_pessimistic_dump(report))
     return "\n".join(out)
+
+
+def render_importance_report(report) -> str:
+    """The human-readable importance-mining report: which safe
+    optimistic answers measurably buy cycles, what each one is worth,
+    and the transform it enables (an :class:`ImportanceReport`)."""
+    r = report
+    out: List[str] = []
+    out.append(f"== ORAQL importance report: {r.config_name} ==")
+    out.append(f"safe optimistic set: {r.safe_queries} of "
+               f"{r.unique_queries} unique queries "
+               f"({len(r.pessimistic_indices)} pinned pessimistic)")
+    out.append(f"cycles             : baseline {r.baseline_cycles:.0f} "
+               f"-> optimistic {r.optimal_cycles:.0f} "
+               f"({r.total_savings:.0f} saved)")
+    out.append(f"significance bar   : {r.significant_percent:g}% of "
+               f"baseline = {r.threshold_cycles:.0f} cycles")
+    if r.partial:
+        out.append("MEASUREMENT BUDGET EXHAUSTED: partial result — the "
+                   "important set below is the best known, not verified")
+    out.append(f"important queries  : {len(r.important)} recover "
+               f"{r.recovered_savings:.0f} cycles "
+               f"({r.recovered_percent:.1f}% of the full win); "
+               f"{len(r.dropped)} safe queries buy nothing")
+    out.append(f"measurement effort : {r.compiles} compiles, "
+               f"{r.measurements_run} VM runs, "
+               f"{r.measurements_cached} served from the "
+               f"executable-hash cache")
+    if r.measurements_replayed:
+        out.append(f"journal resume     : {r.measurements_replayed} "
+                   f"measurements replayed from the session journal")
+    if r.refinement_rounds:
+        out.append(f"refinement         : {r.refinement_rounds} extra "
+                   f"round(s) for non-additive interactions")
+    if r.flip_failures:
+        out.append(f"flip failures      : {r.flip_failures} candidates "
+                   f"broke verification (treated as infinitely costly)")
+    if r.unknown_opcodes or r.unknown_intrinsics:
+        unpriced = {**r.unknown_opcodes, **r.unknown_intrinsics}
+        out.append("UNPRICED OPERATIONS (cycle deltas are distorted): "
+                   + ", ".join(f"{k} x{n}"
+                               for k, n in sorted(unpriced.items())))
+    if r.important:
+        out.append("")
+        out.append("important queries by measured value:")
+        for q in r.important:
+            out.extend("  " + line for line in q.describe().splitlines())
+    if len(r.pareto) > 1:
+        out.append("")
+        out.append("Pareto front (cumulative, best-first):")
+        for p in r.pareto:
+            label = "(none)" if p.added is None else f"+q{p.added}"
+            out.append(f"  k={p.k:<3} {label:<8} {p.cycles:>12.0f} cycles "
+                       f"saved {p.cycles_saved:>10.0f} "
+                       f"({p.percent_of_full:5.1f}% of full win)")
+    return "\n".join(out)

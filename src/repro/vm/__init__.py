@@ -5,7 +5,12 @@ with instruction/cycle accounting, runtime shims for libc/OpenMP/CUDA,
 and the multi-rank MPI scheduler.
 """
 
-from .cost_model import CostModel, DEFAULT_COSTS, occupancy_factor
+from .cost_model import (
+    CostModel,
+    DEFAULT_COSTS,
+    UnknownCostError,
+    occupancy_factor,
+)
 from .errors import (
     DeadlockError,
     MemoryTrap,

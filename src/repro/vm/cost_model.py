@@ -12,6 +12,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
+
+class UnknownCostError(Exception):
+    """A strict cost model was asked to price an opcode or intrinsic it
+    has no entry for.
+
+    Deliberately *not* a :class:`~repro.vm.errors.VMError`: the
+    interpreter converts VM errors into ``trapped`` run results, but a
+    missing cost-table entry is a *measurement* defect, not a program
+    behaviour — silently charging a default would distort every cycle
+    delta built on top (the importance driver's whole currency), so in
+    strict mode it must crash the measuring session loudly instead of
+    becoming a verdict."""
+
 #: cycles per executed IR instruction, by opcode/op
 DEFAULT_COSTS: Dict[str, float] = {
     "load": 4.0,
@@ -44,6 +57,21 @@ INTRINSIC_COSTS: Dict[str, float] = {
     "sqrt": 18.0, "exp": 40.0, "log": 40.0, "pow": 60.0, "sin": 40.0,
     "cos": 40.0, "fabs": 2.0, "floor": 2.0, "ceil": 2.0, "fmin": 2.0,
     "fmax": 2.0,
+    # the rest of the runtime surface (libc / omp / cuda / mpi /
+    # reductions), priced at the flat runtime-call cost these calls were
+    # historically charged as unknowns — explicit entries keep strict
+    # measurement sessions viable without perturbing a single existing
+    # cycle count
+    "llvm.vector.reduce.fadd": 10.0, "llvm.vector.reduce.add": 10.0,
+    "printf": 10.0, "malloc": 10.0, "free": 10.0,
+    "clock_cycles": 10.0, "wtime": 10.0, "abort": 10.0, "exit": 10.0,
+    "omp_parallel_for": 10.0, "omp_get_max_threads": 10.0,
+    "omp_get_num_threads": 10.0,
+    "cuda_launch": 10.0, "cuda_thread_id": 10.0,
+    "cuda_num_threads": 10.0, "cuda_device_synchronize": 10.0,
+    "mpi_comm_rank": 10.0, "mpi_comm_size": 10.0, "mpi_barrier": 10.0,
+    "mpi_allreduce_sum_f64": 10.0, "mpi_allreduce_max_f64": 10.0,
+    "mpi_allreduce_min_f64": 10.0,
 }
 
 
@@ -66,14 +94,44 @@ def occupancy_factor(registers: int) -> float:
     return 1.75
 
 
+#: cycles charged for an opcode / intrinsic missing from the tables
+#: (non-strict mode only; strict mode raises instead)
+UNKNOWN_OPCODE_COST = 1.0
+UNKNOWN_INTRINSIC_COST = 10.0
+
+
 @dataclass
 class CostModel:
     costs: Dict[str, float] = field(default_factory=lambda: dict(DEFAULT_COSTS))
     intrinsic_costs: Dict[str, float] = field(
         default_factory=lambda: dict(INTRINSIC_COSTS))
+    #: raise :class:`UnknownCostError` on a missing table entry instead
+    #: of silently charging the default — measurement sessions (the
+    #: importance driver) run strict so a cycle delta can never be
+    #: quietly distorted by an unpriced operation
+    strict: bool = False
+    #: opcode/intrinsic -> times the table had no entry for it; counted
+    #: in *both* modes so even a lenient run can report the distortion
+    unknown_opcodes: Dict[str, int] = field(default_factory=dict)
+    unknown_intrinsics: Dict[str, int] = field(default_factory=dict)
 
     def of(self, opcode: str) -> float:
-        return self.costs.get(opcode, 1.0)
+        cost = self.costs.get(opcode)
+        if cost is not None:
+            return cost
+        self.unknown_opcodes[opcode] = self.unknown_opcodes.get(opcode, 0) + 1
+        if self.strict:
+            raise UnknownCostError(
+                f"no cycle cost for opcode {opcode!r} (strict cost model)")
+        return UNKNOWN_OPCODE_COST
 
     def of_intrinsic(self, name: str) -> float:
-        return self.intrinsic_costs.get(name, 10.0)
+        cost = self.intrinsic_costs.get(name)
+        if cost is not None:
+            return cost
+        self.unknown_intrinsics[name] = \
+            self.unknown_intrinsics.get(name, 0) + 1
+        if self.strict:
+            raise UnknownCostError(
+                f"no cycle cost for intrinsic {name!r} (strict cost model)")
+        return UNKNOWN_INTRINSIC_COST

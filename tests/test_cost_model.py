@@ -6,6 +6,7 @@ from repro.vm.cost_model import (
     CostModel,
     DEFAULT_COSTS,
     INTRINSIC_COSTS,
+    UnknownCostError,
     occupancy_factor,
 )
 
@@ -35,6 +36,15 @@ class TestDefaultTables:
         for name in ("sqrt", "exp", "log", "pow", "sin", "cos", "fabs"):
             assert name in INTRINSIC_COSTS
 
+    def test_intrinsic_table_covers_the_whole_runtime_surface(self):
+        # strict measurement sessions price every call the VM runtime
+        # can dispatch; a new runtime handler without a cost entry
+        # would crash the importance driver mid-measurement
+        from repro.vm.runtime import Runtime
+        unpriced = set(Runtime().handlers) - set(INTRINSIC_COSTS)
+        assert not unpriced, f"runtime calls without a cycle cost: " \
+                             f"{sorted(unpriced)}"
+
 
 class TestCostModel:
     def test_of_known_opcode(self):
@@ -62,6 +72,47 @@ class TestCostModel:
         cm = CostModel(costs={"load": 2.0})
         assert cm.of("load") == 2.0
         assert cm.of("store") == 1.0  # fallback for missing entries
+
+
+class TestStrictMode:
+    def test_strict_unknown_opcode_raises(self):
+        cm = CostModel(strict=True)
+        with pytest.raises(UnknownCostError, match="some-new-opcode"):
+            cm.of("some-new-opcode")
+
+    def test_strict_unknown_intrinsic_raises(self):
+        cm = CostModel(strict=True)
+        with pytest.raises(UnknownCostError, match="erfc"):
+            cm.of_intrinsic("erfc")
+
+    def test_strict_known_entries_unaffected(self):
+        cm = CostModel(strict=True)
+        assert cm.of("load") == DEFAULT_COSTS["load"]
+        assert cm.of_intrinsic("sqrt") == INTRINSIC_COSTS["sqrt"]
+        assert cm.unknown_opcodes == {}
+        assert cm.unknown_intrinsics == {}
+
+    def test_unknowns_counted_in_lenient_mode(self):
+        # the silent 1.0/10.0 defaults are no longer silent: even a
+        # lenient model tallies what it could not price
+        cm = CostModel()
+        cm.of("mystery-op")
+        cm.of("mystery-op")
+        cm.of_intrinsic("erfc")
+        assert cm.unknown_opcodes == {"mystery-op": 2}
+        assert cm.unknown_intrinsics == {"erfc": 1}
+
+    def test_unknowns_counted_in_strict_mode_too(self):
+        cm = CostModel(strict=True)
+        with pytest.raises(UnknownCostError):
+            cm.of("mystery-op")
+        assert cm.unknown_opcodes == {"mystery-op": 1}
+
+    def test_unknown_cost_error_is_not_a_vm_error(self):
+        # a missing table entry must crash the measuring session, not
+        # become a "trapped" run verdict
+        from repro.vm.errors import VMError
+        assert not issubclass(UnknownCostError, VMError)
 
 
 class TestOccupancyFactor:

@@ -163,6 +163,69 @@ class TestCompileRetry:
         assert ex.retries_used == 0
 
 
+class BrokenCompiler(Compiler):
+    """Raises the given exception on every compile call."""
+
+    def __init__(self, exc):
+        super().__init__()
+        self.exc = exc
+        self.calls = 0
+
+    def compile(self, *a, **k):
+        self.calls += 1
+        raise self.exc
+
+
+class TestDeterministicCompilerErrors:
+    """A deterministic compiler failure fails identically on every
+    attempt — retrying it only burns wall-clock and retry budget, so it
+    must surface as ``compiler-error`` immediately."""
+
+    @pytest.mark.parametrize("exc", [
+        ValueError("bad flag"),
+        TypeError("wrong argument"),
+        KeyError("missing table entry"),
+        type("VerifierError", (RuntimeError,), {})("IR verify failed"),
+    ])
+    def test_raised_immediately_without_retries(self, exc):
+        comp = BrokenCompiler(exc)
+        ex = TestExecutor(comp, ExecutorPolicy(retries=5, backoff=0.0))
+        with pytest.raises(ProbingError) as ei:
+            ex.compile(cfg_of(SAFE_SRC), None, oraql_enabled=False)
+        assert ei.value.triage == "compiler-error"
+        assert "after 1 attempt" in str(ei.value)
+        assert comp.calls == 1, "deterministic failures must not retry"
+        assert ex.retries_used == 0
+
+    def test_frontend_error_not_retried(self):
+        # a real deterministic failure end-to-end: unparsable source
+        comp = FlakyCompiler(failures=0)  # counts calls, never injects
+        ex = TestExecutor(comp, ExecutorPolicy(retries=3, backoff=0.0))
+        with pytest.raises(ProbingError) as ei:
+            ex.compile(cfg_of("int main( { return 0; }"), None,
+                       oraql_enabled=False)
+        assert ei.value.triage == "compiler-error"
+        assert comp.calls == 1
+        assert ex.retries_used == 0
+
+    def test_classifier(self):
+        from repro.faults.injector import InjectedCompilerError
+        from repro.oraql.executor import is_transient_compiler_fault
+        assert is_transient_compiler_fault(RuntimeError("io hiccup"))
+        assert is_transient_compiler_fault(InjectedCompilerError("x"))
+        assert is_transient_compiler_fault(OSError("disk full"))
+        assert is_transient_compiler_fault(MemoryError())
+        assert not is_transient_compiler_fault(ValueError("x"))
+        # deterministic RuntimeError *subclasses* are not transient
+        class DetError(RuntimeError):
+            pass
+        assert not is_transient_compiler_fault(DetError("x"))
+        # session control flow is neither; it unwinds untouched
+        from repro.faults.injector import SessionKilled
+        assert not is_transient_compiler_fault(SessionKilled("x"))
+        assert not is_transient_compiler_fault(ProbingError("x"))
+
+
 class FakeProgram:
     """Duck-typed CompiledProgram emitting a scripted run sequence."""
 

@@ -1,0 +1,339 @@
+"""Tests for the importance-mining driver: flip-subset bisection
+invariants against synthetic cycle oracles (unit + Hypothesis),
+determinism, budget-graceful partial results, kill-and-resume over the
+journal's measure records, and the real compiled pipeline end-to-end.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.injector import FaultInjector, FaultSpec, SessionKilled
+from repro.oraql import (
+    BenchmarkConfig,
+    ImportanceDriver,
+    MeasurementBudgetExhausted,
+    SessionJournal,
+    SourceFile,
+    SyntheticCycleOracle,
+    mine_important,
+    render_importance_report,
+)
+from repro.oraql.cache import config_fingerprint
+from repro.oraql.importance import Measurement
+
+# two disjoint arrays: every alias query is safe, and the no-alias
+# answers pay off (the vectorizer needs them), so the importance driver
+# has real cycle deltas to mine
+AXPY_SRC = """
+void axpy(double* y, double* x, int n) {
+  for (int i = 0; i < n; i++) { y[i] = y[i] + 2.0 * x[i]; }
+}
+int main() {
+  double x[64]; double y[64];
+  for (int i = 0; i < 64; i++) { x[i] = i * 0.5; y[i] = 1.0; }
+  axpy(y, x, 64);
+  double s = 0.0;
+  for (int i = 0; i < 64; i++) { s = s + y[i]; }
+  printf("s = %.4f\\n", s);
+  return 0;
+}
+"""
+
+
+# three independent loops over disjoint array pairs: several safe
+# queries whose flips produce *distinct* executables, so mining needs
+# genuinely many measurements (budget and resume tests want that)
+MULTI_SRC = """
+void s1(double* a, double* b, int n) {
+  for (int i = 0; i < n; i++) { a[i] = b[i] + 1.0; }
+}
+void s2(double* c, double* d, int n) {
+  for (int i = 0; i < n; i++) { c[i] = d[i] * 2.0; }
+}
+void s3(double* e, double* f, int n) {
+  for (int i = 0; i < n; i++) { e[i] = e[i] + f[i] * 0.5; }
+}
+int main() {
+  double a[48]; double b[48]; double c[48]; double d[48];
+  for (int i = 0; i < 48; i++) {
+    a[i] = 0.0; b[i] = i * 1.5; c[i] = 0.0; d[i] = i + 2.0;
+  }
+  s1(a, b, 48);
+  s2(c, d, 48);
+  s3(a, c, 48);
+  double s = 0.0;
+  for (int i = 0; i < 48; i++) { s = s + a[i] + c[i]; }
+  printf("s = %.4f\\n", s);
+  return 0;
+}
+"""
+
+
+def cfg_of(src, name="imp"):
+    return BenchmarkConfig(name=name, sources=[SourceFile("t.c", src)])
+
+
+class TestSyntheticMining:
+    def test_independent_savings_split_by_threshold(self):
+        # three queries buy cycles, two buy nothing; the bar separates
+        # them exactly
+        oracle = SyntheticCycleOracle(
+            1000.0, {0: 100.0, 1: 50.0, 2: 5.0, 3: 0.0}, extra_safe=[4])
+        r = mine_important(oracle, oracle.safe, threshold=20.0)
+        assert sorted(r.important) == [0, 1]
+        assert sorted(r.dropped) == [2, 3, 4]
+        assert r.savings_by_query[0] == pytest.approx(100.0)
+        assert r.savings_by_query[1] == pytest.approx(50.0)
+        assert not r.partial
+
+    def test_joint_group_found_via_context(self):
+        # the 300-cycle bonus needs BOTH 2 and 5 kept: flipping either
+        # singleton in a context containing the other costs the full
+        # bonus, so both are important even with zero solo savings
+        oracle = SyntheticCycleOracle(
+            1000.0, {0: 50.0}, groups=[(frozenset({2, 5}), 300.0)])
+        r = mine_important(oracle, oracle.safe, threshold=20.0)
+        assert sorted(r.important) == [0, 2, 5]
+        assert r.recovered_percent == pytest.approx(100.0)
+
+    def test_redundant_queries_drop_together(self):
+        # queries that never pay drop permanently in one group flip —
+        # far fewer measurements than one flip per query
+        oracle = SyntheticCycleOracle(
+            1000.0, {0: 200.0}, extra_safe=range(1, 40))
+        r = mine_important(oracle, oracle.safe, threshold=10.0)
+        assert r.important == [0]
+        assert len(r.dropped) == 39
+        # 39 worthless queries must not cost 39 measurements: the halves
+        # containing only them are dropped wholesale
+        assert oracle.measurements < 25
+
+    def test_pareto_front_is_cumulative(self):
+        oracle = SyntheticCycleOracle(1000.0, {0: 100.0, 1: 60.0, 2: 30.0})
+        r = mine_important(oracle, oracle.safe, threshold=10.0)
+        assert [p.k for p in r.pareto] == [0, 1, 2, 3]
+        assert r.pareto[0].cycles == pytest.approx(1000.0)
+        # value-ordered: the best query is added first
+        assert r.pareto[1].added == 0
+        assert r.pareto[-1].cycles_saved == pytest.approx(190.0)
+        assert r.pareto[-1].percent_of_full == pytest.approx(100.0)
+
+    def test_no_savings_means_nothing_important(self):
+        oracle = SyntheticCycleOracle(1000.0, {}, extra_safe=range(6))
+        r = mine_important(oracle, oracle.safe, threshold=10.0)
+        assert r.important == []
+        assert r.recovered_percent == pytest.approx(100.0)
+
+    def test_budget_exhaustion_yields_partial(self):
+        oracle = SyntheticCycleOracle(
+            1000.0, {i: 50.0 for i in range(12)}, max_measurements=6)
+        r = mine_important(oracle, oracle.safe, threshold=10.0)
+        # the oracle itself raises; mine_important degrades gracefully
+        unseen = next(frozenset({i}) for i in range(12)
+                      if frozenset({i}) not in oracle.distinct)
+        with pytest.raises(MeasurementBudgetExhausted):
+            oracle.measure(unseen)
+        assert r.partial
+        # everything learned before the budget ran out is kept
+        assert len(r.important) <= 12
+        assert r.baseline_cycles == pytest.approx(1000.0)
+
+    def test_failed_flip_is_infinitely_costly(self):
+        class VetoOracle(SyntheticCycleOracle):
+            def measure(self, kept):
+                m = super().measure(kept)
+                # flipping query 1 "breaks verification"
+                if 1 not in kept:
+                    return Measurement(m.cycles, False, m.exe_hash)
+                return m
+
+        oracle = VetoOracle(1000.0, {0: 100.0, 1: 0.0, 2: 0.0})
+        r = mine_important(oracle, oracle.safe, threshold=20.0)
+        assert 1 in r.important
+        assert math.isinf(r.savings_by_query[1])
+        assert r.flip_failures > 0
+        # required queries lead the value ordering
+        assert r.by_value()[0] == 1
+
+    def test_adaptive_bar_chases_recovery_target(self):
+        # ten queries each worth 1% of baseline: all below a 2% bar,
+        # but recover_percent=95 forces the refinement loop to lower
+        # the bar until the target holds
+        oracle = SyntheticCycleOracle(
+            1000.0, {i: 10.0 for i in range(10)})
+        r = mine_important(oracle, oracle.safe, threshold=20.0,
+                           recover_percent=95.0)
+        assert r.recovered_percent >= 95.0
+        assert r.refinement_rounds > 0
+
+
+@st.composite
+def _savings_maps(draw):
+    n = draw(st.integers(2, 24))
+    payers = draw(st.sets(st.integers(0, n - 1), max_size=n))
+    return n, {i: 100.0 for i in payers}
+
+
+class TestMiningProperties:
+    @given(_savings_maps())
+    @settings(max_examples=60, deadline=None)
+    def test_independent_oracle_finds_exactly_the_payers(self, case):
+        # additive oracle, bar below the per-query value: mining must
+        # recover exactly the paying set, never a superset or subset
+        n, savings = case
+        oracle = SyntheticCycleOracle(10_000.0, savings,
+                                      extra_safe=range(n))
+        r = mine_important(oracle, range(n), threshold=50.0)
+        assert sorted(r.important) == sorted(savings)
+        assert r.recovered_percent == pytest.approx(100.0)
+        # important ∪ dropped is a partition of the safe set
+        assert sorted(r.important + r.dropped) == list(range(n))
+
+    @given(_savings_maps())
+    @settings(max_examples=30, deadline=None)
+    def test_mining_is_deterministic(self, case):
+        n, savings = case
+        runs = []
+        for _ in range(2):
+            oracle = SyntheticCycleOracle(10_000.0, savings,
+                                          extra_safe=range(n))
+            r = mine_important(oracle, range(n), threshold=50.0)
+            runs.append((r.important, r.dropped, r.savings_by_query,
+                         [(p.k, p.added, p.cycles) for p in r.pareto],
+                         oracle.measurements))
+        assert runs[0] == runs[1]
+
+    @given(st.sets(st.integers(0, 15), min_size=1, max_size=8),
+           st.integers(2, 40))
+    @settings(max_examples=40, deadline=None)
+    def test_joint_groups_always_recovered(self, group, bonus10):
+        # a single all-or-nothing group: mining must keep the whole
+        # group whenever its bonus clears the bar
+        bonus = bonus10 * 10.0
+        oracle = SyntheticCycleOracle(
+            10_000.0, {}, groups=[(frozenset(group), bonus)],
+            extra_safe=range(16))
+        r = mine_important(oracle, range(16), threshold=min(bonus, 15.0))
+        assert set(group) <= set(r.important)
+        assert r.recovered_percent == pytest.approx(100.0)
+
+
+class TestRealPipeline:
+    def test_axpy_end_to_end(self):
+        rep = ImportanceDriver(cfg_of(AXPY_SRC),
+                               significant_percent=2.0).run()
+        assert rep.total_savings > 0
+        assert rep.important, "optimism pays here; something must matter"
+        assert rep.recovered_percent >= 95.0
+        # provenance: every important query is linked to its issuer
+        for q in rep.important:
+            assert q.issuing_pass != "?"
+            assert q.function
+        # cycle savings come from vectorization, which leaves a remark
+        assert any(q.remarks for q in rep.important)
+        assert not rep.partial
+        # strict cost model: nothing was silently priced
+        assert rep.unknown_opcodes == {}
+        assert rep.unknown_intrinsics == {}
+        text = render_importance_report(rep)
+        assert "important queries by measured value" in text
+        assert "Pareto front" in text
+
+    def test_fresh_runs_are_bit_identical(self):
+        a = ImportanceDriver(cfg_of(AXPY_SRC)).run()
+        b = ImportanceDriver(cfg_of(AXPY_SRC)).run()
+        assert [q.index for q in a.important] \
+            == [q.index for q in b.important]
+        assert a.baseline_cycles == b.baseline_cycles
+        assert a.optimal_cycles == b.optimal_cycles
+        assert [(p.k, p.added, p.cycles) for p in a.pareto] \
+            == [(p.k, p.added, p.cycles) for p in b.pareto]
+        assert a.compiles == b.compiles
+        assert a.measurements_run == b.measurements_run
+
+    def test_measurement_budget_partial_report(self):
+        rep = ImportanceDriver(cfg_of(MULTI_SRC),
+                               max_measurements=2).run()
+        assert rep.partial
+        # the phases that did complete are still reported
+        assert rep.safe_queries > 0
+        assert rep.baseline_cycles > 0
+        assert "MEASUREMENT BUDGET EXHAUSTED" \
+            in render_importance_report(rep)
+
+    def test_kill_and_resume_is_bit_identical(self, tmp_path):
+        cfg = cfg_of(MULTI_SRC)
+        ref = ImportanceDriver(cfg).run()
+        probing_tests = ref.probing.tests_run
+
+        jdir = str(tmp_path / "journal")
+        # the "test" fault site is polled once per probing test and once
+        # per measurement; aiming past the probing count kills the
+        # session mid-measurement
+        kill_at = probing_tests + 2
+        injector = FaultInjector([FaultSpec("session-kill", at=kill_at)])
+        with pytest.raises(SessionKilled):
+            ImportanceDriver(cfg, journal_dir=jdir,
+                             injector=injector).run()
+
+        rep = ImportanceDriver(cfg, journal_dir=jdir, resume=True).run()
+        assert rep.measurements_replayed > 0
+        assert [q.index for q in rep.important] \
+            == [q.index for q in ref.important]
+        assert rep.baseline_cycles == ref.baseline_cycles
+        assert rep.optimal_cycles == ref.optimal_cycles
+        assert [(p.k, p.added, p.cycles) for p in rep.pareto] \
+            == [(p.k, p.added, p.cycles) for p in ref.pareto]
+        # replayed measurements shift to the cache, never vanish
+        assert rep.measurements_run + rep.measurements_cached \
+            == ref.measurements_run + ref.measurements_cached
+        assert rep.measurements_run < ref.measurements_run
+
+    def test_measure_records_survive_in_journal(self, tmp_path):
+        cfg = cfg_of(MULTI_SRC)
+        jdir = str(tmp_path / "journal")
+        ImportanceDriver(cfg, journal_dir=jdir).run()
+        fp = config_fingerprint(cfg)
+        path = (tmp_path / "journal"
+                / f"{cfg.name}-{fp}-importance-chunked.journal.jsonl")
+        j = SessionJournal(str(path), fp, "importance-chunked",
+                           resume=True)
+        assert j.measured, "cycle measurements must be journaled"
+        assert j.completed
+        for cycles, ok in j.measured.values():
+            assert cycles > 0 and isinstance(ok, bool)
+
+    def test_versions_table_golden(self, golden):
+        # the deterministic VM makes cycle counts golden-safe; any
+        # drift in the measurement path shows up as a diff here
+        from repro.experiments import render_fig5_importance
+        rep = ImportanceDriver(cfg_of(MULTI_SRC)).run()
+        golden("importance_versions.txt", render_fig5_importance(rep))
+        golden("importance_report.txt", render_importance_report(rep))
+
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ValueError):
+            ImportanceDriver(cfg_of(AXPY_SRC), significant_percent=-1)
+        with pytest.raises(ValueError):
+            ImportanceDriver(cfg_of(AXPY_SRC), recover_percent=0)
+
+
+class TestImportanceCLI:
+    def test_cli_smoke(self, tmp_path, capsys):
+        from repro.oraql.cli import main
+        cfg_path = tmp_path / "axpy.json"
+        cfg_path.write_text(cfg_of(AXPY_SRC).to_json())
+        rc = main(["importance", "--config", str(cfg_path),
+                   "--significant-percent", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ORAQL importance report" in out
+        assert "important queries by measured value" in out
+
+    def test_cli_resume_requires_journal(self):
+        from repro.oraql.cli import main
+        with pytest.raises(SystemExit):
+            main(["importance", "--workload", "whatever", "--resume"])
