@@ -70,7 +70,16 @@ from .function import Function
 from .module import Module
 from .builder import IRBuilder
 from .metadata import AliasScope, DebugLoc, ScopedAliasMD, TBAAForest, TBAANode, tbaa_alias
-from .printer import format_instruction, module_hash, print_function, print_module
+from .printer import (
+    format_instruction,
+    function_hash,
+    module_hash,
+    print_function,
+    print_module,
+    print_module_header,
+)
+from .clone import (clone_function_into, detach_uses, mirror_use_order,
+                    repoint_functions)
 from .verifier import VerificationError, verify_function, verify_module
 
 __all__ = [name for name in dir() if not name.startswith("_")]

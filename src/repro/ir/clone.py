@@ -1,0 +1,168 @@
+"""Structural function cloning across modules.
+
+The incremental compiler splices a baseline's *optimized* function
+bodies into a freshly parsed module instead of re-optimizing them.  The
+baseline modules stay live (they key the probing driver's baseline
+cache), so splicing must copy, never move: a clone is a structurally
+identical function whose blocks, instructions and operand references
+all live in the target module, leaving the original untouched.
+
+The clone is print-identical to the original: ``print_function`` names
+values per-function from structure order, which the clone preserves
+exactly, so ``function_hash(clone) == function_hash(original)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .basicblock import BasicBlock
+from .function import Function
+from .instructions import BranchInst, CallInst, PhiInst
+from .module import Module
+from .values import GlobalVariable, Value
+
+
+def clone_function_into(fn: Function, module: Module,
+                        value_map: Optional[Dict[int, Value]] = None
+                        ) -> Function:
+    """Deep-copy ``fn`` into ``module`` (structure, names, metadata).
+
+    Operand references are remapped: arguments and instructions to their
+    clones, globals and functions to the target module's same-named
+    entities (left pointing at the originals when the target has no
+    entity of that name — callers splicing many functions fix those up
+    afterwards via :func:`repoint_functions`).  The clone is *not*
+    registered in ``module.functions``; the caller owns placement.
+
+    ``value_map``, when given, is populated with the source-id → clone
+    mapping for every argument and instruction.  The incremental
+    compiler keeps it so a query key recorded against the original
+    body can be translated into the clone's value space (snapshot
+    capture and restore compose two of these maps).
+    """
+    new = Function(fn.ftype, fn.name, module=module,
+                   arg_names=[a.name for a in fn.args], target=fn.target)
+    new.attrs = set(fn.attrs)
+    new.is_declaration = fn.is_declaration
+    new.source_file = fn.source_file
+    # carry the fresh-name counter: a restored snapshot must hand out
+    # the same block/value names the original would have next
+    new._next_names = fn._next_names
+    if fn.is_declaration:
+        return new
+
+    vmap: Dict[int, Value] = value_map if value_map is not None else {}
+    for a, na in zip(fn.args, new.args):
+        vmap[a.id] = na
+    block_map: Dict[int, BasicBlock] = {}
+    for bb in fn.blocks:
+        # construct directly (not add_block) so anonymous blocks stay
+        # anonymous — the printed text must match byte for byte
+        nb = BasicBlock(bb.name, new)
+        new.blocks.append(nb)
+        block_map[bb.id] = nb
+
+    # first pass: clone every instruction, building the value map
+    for bb in fn.blocks:
+        nb = block_map[bb.id]
+        for inst in bb.instructions:
+            c = inst.clone()
+            vmap[inst.id] = c
+            nb.append(c)
+            if isinstance(c, BranchInst):
+                c.targets = [block_map[t.id] for t in inst.targets]
+            elif isinstance(c, PhiInst):
+                c.incoming_blocks = [block_map[b.id]
+                                     for b in inst.incoming_blocks]
+
+    # second pass: remap operands (covers phi back-edges) and callees
+    for bb in fn.blocks:
+        nb = block_map[bb.id]
+        for c in nb.instructions:
+            for i, op in enumerate(list(c.operands)):
+                repl = vmap.get(op.id)
+                if repl is None:
+                    if isinstance(op, GlobalVariable):
+                        repl = module.globals.get(op.name)
+                    elif isinstance(op, Function):
+                        repl = module.functions.get(op.name)
+                if repl is not None and repl is not op:
+                    c.set_operand(i, repl)
+            if isinstance(c, CallInst) and isinstance(c.callee, Function):
+                target = module.functions.get(c.callee.name)
+                if target is not None:
+                    c.callee = target
+    return new
+
+
+def detach_uses(fn: Function) -> None:
+    """Remove ``fn``'s instructions from every operand's use-list.
+
+    A snapshot clone is a frozen document — nothing ever consults *its*
+    use-lists — but cloning registered its instructions as users of live
+    module values (globals, functions, shared constants), which perturbs
+    every pass that counts uses (global DCE, address-taken reasoning)
+    and silently changes what the live pipeline produces.  Detaching
+    makes the snapshot invisible to the module it was captured from.
+    Restoring later is unaffected: ``set_operand`` tolerates an absent
+    old use, and the restore clone re-registers its own uses.
+    """
+    for inst in fn.instructions():
+        for op in inst.operands:
+            op.users.discard(inst)
+
+
+def mirror_use_order(src: Function,
+                     value_map: Dict[int, Value]) -> None:
+    """Rebuild the clones' *internal* use-lists in ``src``'s order.
+
+    Structural cloning registers uses in structure-traversal order, but
+    a live function's use-lists carry *creation* order — the cumulative
+    history of parses and transformations — and several passes iterate
+    ``users`` (mem2reg's phi placement, machine-sink, vectorizer
+    legality scans), so the order is behavior-bearing.  Resuming a
+    pipeline from a restored snapshot is only bit-faithful if the
+    restored body's use-lists iterate exactly as the original's did at
+    the capture point; this replays that order through ``value_map``
+    (source-id → clone).  Only function-local values (arguments,
+    instructions) are touched: SSA confines their users to the same
+    function, while module-level values' use-lists are consulted purely
+    as predicates.
+    """
+    values = list(src.args)
+    for bb in src.blocks:
+        values.extend(bb.instructions)
+    for v in values:
+        c = value_map.get(v.id)
+        if c is None:
+            continue
+        c.users.clear()
+        for u in v.users:
+            cu = value_map.get(u.id)
+            if cu is not None:
+                c.users.add(cu)
+
+
+def repoint_functions(module: Module) -> None:
+    """Repoint every direct-call callee and Function-valued operand in
+    ``module`` at the module's canonical same-named function.
+
+    After splicing, calls inside clones may still reference functions
+    that were subsequently replaced (and re-optimized functions may call
+    pre-splice bodies); one sweep after all replacements fixes both
+    directions.  Extends :meth:`Module._fixup_callees` to cover
+    function-pointer operands as well.
+    """
+    for fn in module.defined_functions():
+        for inst in fn.instructions():
+            for i, op in enumerate(list(inst.operands)):
+                if isinstance(op, Function):
+                    canonical = module.functions.get(op.name)
+                    if canonical is not None and canonical is not op:
+                        inst.set_operand(i, canonical)
+            if isinstance(inst, CallInst) and isinstance(
+                    inst.callee, Function):
+                canonical = module.functions.get(inst.callee.name)
+                if canonical is not None and canonical is not inst.callee:
+                    inst.callee = canonical

@@ -37,7 +37,11 @@ class Function(Value):
         self.blocks: List[BasicBlock] = []
         self.is_declaration = False
         self.source_file: Optional[str] = None
-        self._next_names = itertools.count()
+        # plain int, not itertools.count: the incremental compiler
+        # snapshots and restores it (clone_function_into copies it), so
+        # resumed pipelines generate the same fresh names a full
+        # compile would
+        self._next_names = 0
         names = list(arg_names or [])
         while len(names) < len(ftype.params):
             names.append(f"arg{len(names)}")
@@ -55,8 +59,13 @@ class Function(Value):
     def entry(self) -> BasicBlock:
         return self.blocks[0]
 
+    def _fresh(self) -> int:
+        n = self._next_names
+        self._next_names += 1
+        return n
+
     def add_block(self, name: str = "", after: Optional[BasicBlock] = None) -> BasicBlock:
-        bb = BasicBlock(name or f"bb{next(self._next_names)}", self)
+        bb = BasicBlock(name or f"bb{self._fresh()}", self)
         if after is None:
             self.blocks.append(bb)
         else:
@@ -71,7 +80,7 @@ class Function(Value):
         return sum(len(bb) for bb in self.blocks)
 
     def unique_name(self, hint: str = "t") -> str:
-        return f"{hint}{next(self._next_names)}"
+        return f"{hint}{self._fresh()}"
 
     def short(self) -> str:
         return f"@{self.name}"

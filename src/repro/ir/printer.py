@@ -185,7 +185,7 @@ def print_function(fn: Function) -> str:
     return "\n".join(lines) + "\n"
 
 
-def print_module(mod: Module) -> str:
+def _header_parts(mod: Module) -> List[str]:
     parts: List[str] = [f"; ModuleID = '{mod.name}'\n"]
     for name, st in sorted(mod.struct_types.items()):
         fields = ", ".join(str(f) for f in st.fields)
@@ -194,6 +194,19 @@ def print_module(mod: Module) -> str:
         const = "constant" if gv.is_constant else "global"
         init = gv.initializer.short() if gv.initializer is not None else "zeroinitializer"
         parts.append(f"@{name} = {const} {gv.value_type} {init}\n")
+    return parts
+
+
+def print_module_header(mod: Module) -> str:
+    """The module's printed form minus the function bodies: ModuleID,
+    struct types, globals.  Together with per-function hashes this lets
+    the incremental compiler assemble an executable hash without
+    re-rendering unchanged functions."""
+    return "\n".join(_header_parts(mod))
+
+
+def print_module(mod: Module) -> str:
+    parts = _header_parts(mod)
     for fn in mod.functions.values():
         parts.append(print_function(fn))
     return "\n".join(parts)
@@ -203,3 +216,11 @@ def module_hash(mod: Module) -> str:
     """Content hash of the module's printed form (the driver's
     "bit-identical executable" test, paper §IV-B)."""
     return hashlib.sha256(print_module(mod).encode()).hexdigest()
+
+
+def function_hash(fn: Function) -> str:
+    """Content hash of one function's printed form.  ``print_function``
+    uses a fresh namer per function, so the text — and therefore this
+    hash — is self-contained: two structurally identical bodies hash
+    equal regardless of the surrounding module."""
+    return hashlib.sha256(print_function(fn).encode()).hexdigest()

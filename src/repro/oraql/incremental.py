@@ -1,0 +1,436 @@
+"""Delta-keyed incremental recompilation (ROADMAP item 2).
+
+Adjacent probes in a bisection session differ in a handful of decision
+bits.  ORAQL's prefix-stability property — the k-th unique query depends
+only on the answers to queries < k — extends to a *global* form this
+module exploits:
+
+    Let ``d`` be the first unique-query index where the new sequence's
+    effective answer (explicit bit, or the optimistic implicit 1 past
+    the end) differs from the baseline's recorded answer.  Up to
+    position ``d`` the two compilations issue the identical stream of
+    (query, answer) pairs, so every function whose baseline queries all
+    have index < d replays its baseline optimization exactly.
+
+Only the *affected set* F — the functions owning at least one baseline
+record with index ≥ d — can optimize differently, so only F needs to be
+re-run; everything else is spliced from the baseline's optimized module.
+Within the restricted run, unique-query indices are remapped so the
+incremental compile populates the same global index space as a full
+compile would: the n-th miss inside F takes the n-th baseline sub-d
+index owned by F while those last, then continues at d.
+
+Every helper here is pure bookkeeping over the baseline's query records
+(:class:`~repro.oraql.pass_.QueryRecord`); the compile-pipeline glue
+lives in :meth:`repro.oraql.compiler.Compiler._compile_incremental`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..ir.clone import clone_function_into, detach_uses, mirror_use_order
+from ..ir.module import Module
+from ..ir.instructions import CallInst
+from ..ir.function import Function
+from ..ir.values import GlobalVariable, Value
+
+
+@dataclass
+class IncrementalOutcome:
+    """What one incremental compile reused vs. re-derived (attached to
+    the resulting :class:`~repro.oraql.compiler.CompiledProgram`)."""
+
+    #: first flipped unique-query index; None = the sequences agree on
+    #: the whole baseline stream (the compile is a pure splice)
+    delta: Optional[int]
+    #: functions whose optimization was actually re-run (|F|)
+    reoptimized: int
+    #: functions spliced unchanged from the baseline module
+    spliced: int
+    total_functions: int
+    codegen_hits: int = 0
+    codegen_misses: int = 0
+    #: the affected set was widened through the call graph (inliner)
+    widened: bool = False
+    #: of the re-optimized functions, how many resumed mid-pipeline
+    #: from a baseline snapshot instead of re-running from the frontend
+    resumed: int = 0
+    #: function-pass executions skipped by mid-pipeline resume (passes
+    #: below each resumed function's snapshot ordinal)
+    passes_resumed_past: int = 0
+    #: True when the narrow affected set (only scopes whose own answers
+    #: changed) survived its replay schedule
+    narrowed: bool = False
+
+
+class ReplayDivergence(Exception):
+    """A narrow incremental run diverged from its predicted replay
+    schedule: one of the flipped answers changed its owner's query
+    stream, so the splice of the other post-delta scopes is invalid.
+    The compiler catches this and retries with the conservative
+    affected set; ``pass_executions`` carries the aborted run's cost so
+    the retry can charge it honestly."""
+
+    def __init__(self, message: str, pass_executions: int = 0):
+        super().__init__(message)
+        self.pass_executions = pass_executions
+
+
+@dataclass
+class NarrowPlan:
+    """The optimistic affected set: only scopes whose own recorded
+    answers actually changed re-run (``scopes``), each resuming at the
+    ordinal of its first *changed* record (``first_changed``) rather
+    than its first record past the global divergence point.  Sound only
+    if every re-run replays its predicted stream shape — enforced
+    per-miss by the replay schedule; any divergence aborts to the
+    conservative set and marks ``changed`` (the flipped indices) as
+    volatile so future compiles skip the attempt."""
+
+    scopes: Set[str]
+    first_changed: Dict[str, int]
+    changed: Set[int]
+
+
+def effective_bit(bits: Sequence[int], index: int) -> bool:
+    """The decision a sequence gives query ``index``: the explicit bit,
+    or optimistic (True) past the end (§IV-A)."""
+    return bool(bits[index]) if index < len(bits) else True
+
+
+def decision_delta(records, bits: Sequence[int]) -> Optional[int]:
+    """First unique-query index where ``bits`` answers differently from
+    the baseline's recorded stream; None when every recorded query gets
+    the same answer (the new compile replays the baseline verbatim —
+    bits beyond the stream's end are never consumed)."""
+    for rec in records:
+        if rec.optimistic != effective_bit(bits, rec.index):
+            return rec.index
+    return None
+
+
+def affected_functions(records, delta: int) -> Set[str]:
+    """The scopes owning at least one unique query at index ≥ ``delta``
+    — the only functions whose optimization can change."""
+    return {rec.scope for rec in records if rec.index >= delta}
+
+
+def sub_delta_indices(records, delta: int, scopes: Set[str]) -> List[int]:
+    """Sorted baseline indices < ``delta`` owned by ``scopes`` — the
+    index slots a restricted pipeline run re-fills before reaching the
+    divergence point."""
+    return sorted(rec.index for rec in records
+                  if rec.index < delta and rec.scope in scopes)
+
+
+def call_graph_closure(modules: Sequence[Module],
+                       roots: Set[str]) -> Set[str]:
+    """Widen ``roots`` to its closure under direct-call edges, in both
+    directions, over the union of the given modules' call graphs.
+
+    Used when the pipeline can inline: a callee's body feeds its
+    callers' optimization and vice versa, so the function-local
+    affected-set argument no longer bounds the blast radius."""
+    edges: Dict[str, Set[str]] = {}
+
+    def add_edge(a: str, b: str) -> None:
+        edges.setdefault(a, set()).add(b)
+        edges.setdefault(b, set()).add(a)
+
+    for module in modules:
+        for fn in module.defined_functions():
+            for inst in fn.instructions():
+                if isinstance(inst, CallInst) and isinstance(
+                        inst.callee, Function):
+                    add_edge(fn.name, inst.callee.name)
+    closed = set(roots)
+    work = list(roots)
+    while work:
+        name = work.pop()
+        for other in edges.get(name, ()):
+            if other not in closed:
+                closed.add(other)
+                work.append(other)
+    return closed
+
+
+class RemappedDecisionSequence:
+    """Duck-typed decision sequence for a function-restricted run.
+
+    The ORAQL pass reads ``sequence.consumed`` as the unique-query index
+    of the next cache miss, then calls ``next()``.  In an incremental
+    compile the restricted pipeline only replays the affected set's
+    queries, so the n-th local miss must land on the n-th *global* index
+    the affected set owned in the baseline (``sub``), and past those on
+    ``delta + (n - len(sub))`` — exactly where a full compile's stream
+    would place it.  The answer is the original sequence's effective bit
+    at that global index.
+
+    A narrow run additionally passes ``schedule``: the predicted
+    ``(scope, ordinal)`` of every miss.  The ORAQL pass calls
+    ``observe`` before consuming each miss; a mismatch (or a miss past
+    the end of the schedule) raises :class:`ReplayDivergence`
+    immediately, so an invalid narrow attempt aborts at its first
+    divergent query instead of completing a wasted pipeline run.
+    """
+
+    def __init__(self, bits: Sequence[int], sub: Sequence[int], delta: int,
+                 schedule: Optional[List[Tuple[str, int]]] = None):
+        self.bits: List[int] = [1 if b else 0 for b in bits]
+        self._sub: List[int] = list(sub)
+        self._delta = delta
+        self._n = 0
+        self._schedule = schedule
+
+    def observe(self, scope: str, ordinal: int) -> None:
+        if self._schedule is None:
+            return
+        n = self._n
+        if n >= len(self._schedule):
+            raise ReplayDivergence(
+                f"miss {n} at ({scope}, {ordinal}) past the predicted "
+                f"schedule of {len(self._schedule)}")
+        if self._schedule[n] != (scope, ordinal):
+            raise ReplayDivergence(
+                f"miss {n} at ({scope}, {ordinal}) != predicted "
+                f"{self._schedule[n]}")
+
+    def index_of(self, n: int) -> int:
+        if n < len(self._sub):
+            return self._sub[n]
+        return self._delta + (n - len(self._sub))
+
+    @property
+    def consumed(self) -> int:
+        """The global index the next miss will be recorded under."""
+        return self.index_of(self._n)
+
+    def next(self) -> bool:
+        index = self.index_of(self._n)
+        self._n += 1
+        return effective_bit(self.bits, index)
+
+    @property
+    def misses(self) -> int:
+        """How many local decisions were handed out."""
+        return self._n
+
+    def reset(self) -> None:
+        self._n = 0
+
+
+class ResumeState:
+    """Per-function resume material carried by a
+    :class:`~repro.oraql.compiler.CompiledProgram`.
+
+    ``snapshots[p]`` is a clone of the function's body as it stood
+    *before* pipeline ordinal ``p`` ran — captured only for ordinals
+    whose pass issued at least one new unique query for the function,
+    because those are exactly the points a future delta can first
+    touch.  ``capture_maps[p]`` maps the live body's value ids to the
+    snapshot clone's values; composed with the restore clone's map it
+    translates a recorded query key into a resumed body's value space.
+    ``seed_keys`` holds, per unique-query index, the symbolic pointer
+    pair of the record in *this* program's value space (``("g", name)``
+    for globals, ``("f", name)`` for functions, ``("v", id)`` for
+    locals), so a resumed run can pre-warm the ORAQL cache with every
+    pre-resume answer — a post-divergence re-query must hit the warm
+    entry exactly as it would in a full compile.
+    """
+
+    def __init__(self) -> None:
+        self.snapshots: Dict[int, Function] = {}
+        self.capture_maps: Dict[int, Dict[int, Value]] = {}
+        self.seed_keys: Dict[int, Tuple[tuple, tuple]] = {}
+        #: per snapshot ordinal, the analyses a full compile holds in
+        #: cache for this function entering that ordinal — what a
+        #: resumed run phantom-caches so analysis rebuilds on identical
+        #: bodies do not inflate the query counters
+        self.valid_at: Dict[int, FrozenSet[str]] = {}
+
+    def best_ordinal(self, desired: int) -> int:
+        """The latest snapshot ordinal ≤ ``desired`` (0 = no snapshot;
+        resume from the frontend body, i.e. run the whole pipeline)."""
+        best = 0
+        for o in self.snapshots:
+            if best < o <= desired:
+                best = o
+        return best
+
+
+def symbolic_ptr(ptr) -> tuple:
+    """A value reference that survives module boundaries: globals and
+    functions by name, everything else by value id."""
+    if isinstance(ptr, GlobalVariable):
+        return ("g", ptr.name)
+    if isinstance(ptr, Function):
+        return ("f", ptr.name)
+    return ("v", ptr.id)
+
+
+def seed_key_for(rec) -> Tuple[tuple, tuple]:
+    """The symbolic cache key of a record, in the value space of the
+    program whose compile issued it."""
+    return (symbolic_ptr(rec.a.ptr), symbolic_ptr(rec.b.ptr))
+
+
+def translate_entry(entry: tuple, module: Module,
+                    capture: Dict[int, Value],
+                    restore: Dict[int, Value]) -> Optional[tuple]:
+    """One symbolic key entry pushed through capture ∘ restore into a
+    resumed body's value space; None when the value is dead at the
+    snapshot point (then no query in the resumed run — or in the full
+    compile it mirrors — can ever reference it)."""
+    kind, val = entry
+    if kind in ("g", "f"):
+        return entry
+    snap_val = capture.get(val)
+    if snap_val is None:
+        return None
+    new_val = restore.get(snap_val.id)
+    if new_val is None:
+        return None
+    return ("v", new_val.id)
+
+
+def resolve_key(key: Tuple[tuple, tuple],
+                module: Module) -> Optional[frozenset]:
+    """A symbolic key (already in the target program's value space)
+    materialized as the ORAQL cache's frozenset of value ids."""
+    ids = []
+    for kind, val in key:
+        if kind == "g":
+            g = module.globals.get(val)
+            if g is None:
+                return None
+            ids.append(g.id)
+        elif kind == "f":
+            f = module.functions.get(val)
+            if f is None:
+                return None
+            ids.append(f.id)
+        else:
+            ids.append(val)
+    return frozenset(ids)
+
+
+class SnapshotCollector:
+    """Captures pre-pass body snapshots during a pipeline run.
+
+    Installed on the :class:`CompilationContext` by the compiler when a
+    program may serve as a future incremental baseline.  ``before``
+    clones the function about to be transformed; ``after`` keeps the
+    clone only when the pass issued a new unique ORAQL query for that
+    function — the only ordinals a future decision-sequence delta can
+    name as a resume point.
+    """
+
+    def __init__(self, oraql, module: Module, ctx=None) -> None:
+        self.oraql = oraql
+        self.module = module
+        self.ctx = ctx  # CompilationContext; source of the valid sets
+        self.states: Dict[str, ResumeState] = {}
+        self._pending: Optional[tuple] = None
+
+    def before(self, fn: Function, ordinal: int) -> None:
+        vmap: Dict[int, Value] = {}
+        snap = clone_function_into(fn, self.module, value_map=vmap)
+        # the snapshot must not appear as a *user* of live module values,
+        # or use-counting passes see phantom uses and optimize differently
+        detach_uses(snap)
+        # preserve the live body's use-list iteration order (creation
+        # order, which phi placement and sinking depend on) so a future
+        # restore can replay it bit-faithfully
+        mirror_use_order(fn, vmap)
+        valid = (self.ctx.am.valid_set(fn) if self.ctx is not None
+                 else frozenset())
+        self._pending = (fn.name, ordinal, snap, vmap, valid,
+                         len(self.oraql.records))
+
+    def after(self, fn: Function, ordinal: int) -> None:
+        pending = self._pending
+        self._pending = None
+        if pending is None:
+            return
+        name, o, snap, vmap, valid, n0 = pending
+        if name != fn.name or o != ordinal:
+            return
+        records = self.oraql.records
+        if any(r.scope == name for r in records[n0:]):
+            st = self.states.setdefault(name, ResumeState())
+            st.snapshots[o] = snap
+            st.capture_maps[o] = vmap
+            st.valid_at[o] = valid
+
+
+class BaselineCache:
+    """Small LRU of recent probe programs, the candidate baselines for
+    the next incremental compile.
+
+    ``best_for`` picks the candidate minimizing the estimated re-run
+    cost for the requested bits: fewest affected functions, each
+    weighted by how much pipeline its resume snapshot skips.  A longer
+    agreeing prefix usually wins, but a slightly earlier divergence
+    that stays inside one function beats a later one that fans out over
+    many.  Programs that fell back to a full compile are still
+    perfectly good baselines — any program carrying ORAQL records is.
+    """
+
+    def __init__(self, capacity: int = 8):
+        self.capacity = capacity
+        self._progs: List[object] = []
+
+    def add(self, prog) -> None:
+        if prog is None or prog.oraql is None:
+            return
+        if prog in self._progs:
+            self._progs.remove(prog)
+        self._progs.append(prog)
+        while len(self._progs) > self.capacity:
+            self._progs.pop(0)
+
+    def __len__(self) -> int:
+        return len(self._progs)
+
+    #: per-function weight of a from-scratch re-optimization in the
+    #: cost estimate; a resume snapshot at ordinal j discounts j units
+    _FN_COST = 1000
+
+    def estimated_cost(self, prog, bits: Sequence[int]) -> int:
+        """Predicted re-run cost of compiling ``bits`` against ``prog``:
+        0 for a verbatim replay, otherwise one :data:`_FN_COST` per
+        affected function minus the pipeline prefix its best resume
+        snapshot would skip."""
+        records = prog.oraql.records
+        d = decision_delta(records, bits)
+        if d is None:
+            return 0
+        first_ord: Dict[str, int] = {}
+        for rec in records:
+            if rec.index >= d and rec.scope not in first_ord:
+                first_ord[rec.scope] = rec.ordinal
+        cost = 0
+        resume = getattr(prog, "resume", None) or {}
+        for scope, desired in first_ord.items():
+            st = resume.get(scope)
+            j = st.best_ordinal(desired) if st is not None else 0
+            cost += self._FN_COST - min(j, self._FN_COST)
+        return cost
+
+    def best_for(self, bits: Sequence[int]):
+        """The cached program minimizing the estimated re-run cost for
+        ``bits`` (ties: later divergence, then most recently used), or
+        None when empty."""
+        best: Optional[Tuple[int, int, int]] = None
+        found = None
+        for age, prog in enumerate(self._progs):
+            records = prog.oraql.records
+            d = decision_delta(records, bits)
+            agree = len(records) + 1 if d is None else d
+            score = (-self.estimated_cost(prog, bits), agree, age)
+            if best is None or score > best:
+                best = score
+                found = prog
+        return found

@@ -92,7 +92,8 @@ def _probe_config(config_json: str, strategy: str, max_tests: int,
                   resume: bool = False,
                   fault_plan: Optional[List[dict]] = None,
                   attempt: int = 0,
-                  time_passes: bool = False) -> ProbingReport:
+                  time_passes: bool = False,
+                  incremental: str = "off") -> ProbingReport:
     """Probe one whole configuration in a worker process."""
     from ..trace import QueryTrace
     cfg = BenchmarkConfig.from_json(config_json)
@@ -104,7 +105,8 @@ def _probe_config(config_json: str, strategy: str, max_tests: int,
     trace = QueryTrace(record_events=False) if time_passes else None
     report = ProbingDriver(cfg, strategy=strategy, max_tests=max_tests,
                            verdict_cache=cache, journal=journal,
-                           injector=injector, trace=trace).run()
+                           injector=injector, trace=trace,
+                           incremental=incremental).run()
     # live IR/program objects do not survive (or justify) pickling back
     return report.detach_for_transport()
 
@@ -261,7 +263,8 @@ class ParallelProbingDriver:
                  resume: bool = False,
                  policy: Optional[ExecutorPolicy] = None,
                  fault_plan: Optional[List[dict]] = None,
-                 trace=None):
+                 trace=None,
+                 incremental: str = "off"):
         if isinstance(configs, BenchmarkConfig):
             configs = [configs]
         self.configs = list(configs)
@@ -283,6 +286,9 @@ class ParallelProbingDriver:
         #: and trace fully; fan-out workers ship timer trees back (the
         #: parent merges them), but event streams stay in-process
         self.trace = trace
+        #: incremental recompilation mode, forwarded to every driver
+        #: (in-process and in workers); bit-identical results either way
+        self.incremental = incremental
 
     def _cache(self) -> Optional[VerdictCache]:
         return VerdictCache(self.cache_dir) if self.cache_dir else None
@@ -308,7 +314,7 @@ class ParallelProbingDriver:
                 verdict_cache=self._cache(), policy=self.policy,
                 journal=self._journal(config),
                 injector=FaultInjector.from_json_plan(self.fault_plan),
-                trace=self.trace).run()
+                trace=self.trace, incremental=self.incremental).run()
         factory = lambda: ProcessPoolExecutor(max_workers=self.jobs)  # noqa: E731
         with ProcessPoolExecutor(max_workers=self.jobs) as executor:
             driver = SpeculativeProbingDriver(
@@ -317,7 +323,7 @@ class ParallelProbingDriver:
                 max_tests=self.max_tests, verdict_cache=self._cache(),
                 policy=self.policy, journal=self._journal(config),
                 injector=FaultInjector.from_json_plan(self.fault_plan),
-                trace=self.trace)
+                trace=self.trace, incremental=self.incremental)
             return driver.run()
 
     # -- many configs: one worker per configuration -------------------------
@@ -328,7 +334,8 @@ class ParallelProbingDriver:
             return [ProbingDriver(
                 cfg, strategy=self.strategy, max_tests=self.max_tests,
                 verdict_cache=cache, policy=self.policy,
-                journal=self._journal(cfg), trace=self.trace).run()
+                journal=self._journal(cfg), trace=self.trace,
+                incremental=self.incremental).run()
                 for cfg in self.configs]
 
         results: List[Optional[ProbingReport]] = [None] * len(self.configs)
@@ -343,7 +350,8 @@ class ParallelProbingDriver:
                         self.strategy, self.max_tests, self.cache_dir,
                         self.journal_dir, self.resume or attempts[i] > 0,
                         self.fault_plan, attempts[i],
-                        time_passes=self.trace is not None): i
+                        time_passes=self.trace is not None,
+                        incremental=self.incremental): i
                     for i in remaining}
                 pending = set(futures)
                 while pending:

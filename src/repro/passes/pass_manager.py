@@ -21,7 +21,7 @@ legacy invalidate-everything behavior remains available as
 from __future__ import annotations
 
 from contextlib import nullcontext
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Set, Union
 
 from ..analysis import (
     AAResults,
@@ -100,6 +100,18 @@ class CompilationContext:
         self.verify_analyses = verify_analyses
         self.invalidation = invalidation
         self.am = AnalysisManager(self)
+        #: number of pass executions (per-function runs + module-pass
+        #: runs) this context performed — the incremental compiler's
+        #: headline savings metric
+        self.pass_executions = 0
+        #: pipeline ordinal of the pass currently executing (maintained
+        #: by :meth:`PassManager.run`); stamps ORAQL query records so a
+        #: later incremental compile knows where a function's stream
+        #: diverges, hence where its pipeline can resume
+        self.pass_index = 0
+        #: optional :class:`~repro.oraql.incremental.SnapshotCollector`
+        #: capturing pre-pass body snapshots for future resumes
+        self.resume_collector = None
         self._fn_views: Dict[int, FunctionAnalyses] = {}
         #: pass-context stack for query provenance: the top entry is the
         #: pass currently executing; an analysis built on demand inside a
@@ -130,6 +142,19 @@ class CompilationContext:
             self.am.invalidate_module(pa)
         else:
             self.am.invalidate_function(fn, pa)
+
+    def merge(self, other: "CompilationContext") -> None:
+        """Fold another context's bookkeeping into this one.  Used when
+        several compilation contexts report through a single program
+        context (the non-LTO per-TU compiles), replacing the inline
+        counter folding previously copied at each call site."""
+        if other is self:
+            return
+        self.stats.merge(other.stats)
+        self.aa.merge(other.aa)
+        self.am.merge_counters(other.am)
+        self.debug_log.extend(other.debug_log)
+        self.pass_executions += other.pass_executions
 
     # -- pass-context stack ------------------------------------------------
     def push_pass(self, name: str) -> None:
@@ -195,14 +220,39 @@ class PassManager:
     def __init__(self, ctx: CompilationContext):
         self.ctx = ctx
 
-    def run(self, pipeline: Sequence[Pass]) -> None:
+    def run(self, pipeline: Sequence[Pass],
+            only: Optional[Union[Set[str], Dict[str, int]]] = None) -> None:
+        """Run ``pipeline`` over the context's module.
+
+        ``only`` restricts function passes to the named functions — the
+        incremental compiler's entry point: every other function keeps
+        its (spliced) baseline body untouched.  A dict maps each name
+        to the pipeline ordinal its run *resumes* at (passes below it
+        are skipped — the body was restored from a baseline snapshot
+        taken at exactly that point); a set means "from the top" for
+        every member.  Module passes see the whole module by
+        definition, so a restricted run refuses them; the incremental
+        compiler falls back to a full compile instead.
+        """
         ctx = self.ctx
         module = ctx.module
-        for p in pipeline:
+        starts: Optional[Dict[str, int]] = None
+        if only is not None:
+            starts = (dict(only) if isinstance(only, dict)
+                      else {name: 0 for name in only})
+        collector = ctx.resume_collector
+        for p_idx, p in enumerate(pipeline):
+            ctx.pass_index = p_idx
+            ctx.aa.current_ordinal = p_idx
             if isinstance(p, ModulePass):
+                if starts is not None:
+                    raise ValueError(
+                        f"module pass {p.display_name!r} cannot run in a "
+                        f"function-restricted (incremental) pipeline")
                 ctx.announce(p.display_name)
                 ctx.push_pass(p.display_name)
                 ctx.aa.current_function = None
+                ctx.pass_executions += 1
                 try:
                     with ctx.timed(p.display_name):
                         pa = p.run_on_module(module, ctx)
@@ -222,16 +272,25 @@ class PassManager:
                             ctx.am.verify_preserved(fn, p.display_name)
                 continue
             for fn in list(module.defined_functions()):
+                if starts is not None:
+                    start = starts.get(fn.name)
+                    if start is None or p_idx < start:
+                        continue
                 if not p.should_run_on(fn):
                     continue
+                if collector is not None:
+                    collector.before(fn, p_idx)
                 ctx.announce(p.display_name, fn)
                 ctx.push_pass(p.display_name)
                 ctx.aa.current_function = fn
+                ctx.pass_executions += 1
                 try:
                     with ctx.timed(p.display_name):
                         pa = p.run_on_function(fn, ctx)
                 finally:
                     ctx.pop_pass()
+                if collector is not None:
+                    collector.after(fn, p_idx)
                 if not pa.are_all_preserved():
                     ctx.am.invalidate_function(fn, pa)
                     if ctx.verify_each:

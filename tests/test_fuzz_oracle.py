@@ -47,8 +47,11 @@ class TestMatrix:
         assert res.reference_output == "56.000000\n"
         for key in ("o0",) + MUST_MATCH:
             assert res.outcomes[key] == "match", key
-        # 7 compiles: o0, o2, o3, coarse, override, optimistic, pessimistic
-        assert res.compiles == 7
+        # 7 matrix compiles (o0, o2, o3, coarse, override, optimistic,
+        # pessimistic) plus 3 incremental-vs-full pairs (all-pessimistic,
+        # flip-first, flip-last — SIMPLE has one unique query)
+        assert res.compiles == 13
+        assert res.incremental_fallbacks == 0
 
     def test_optimistic_key_is_not_must_match(self):
         assert "optimistic" not in MUST_MATCH

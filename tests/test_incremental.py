@@ -1,0 +1,515 @@
+"""Incremental recompilation keyed by decision-sequence deltas.
+
+The contract under test: ``Compiler.compile(config, sequence,
+baseline=prev)`` must produce a program *bit-identical* to a full
+compile — executable hash, per-function body hashes, the unique-query
+index space, and every aggregate counter — while re-running only the
+functions (and only the pipeline tail) the decision delta can affect.
+Covers the unit layers (delta computation, baseline cache, snapshot
+resume state, clone helpers, the per-TU merge helpers) and the
+end-to-end layers (compiler, probing driver on-vs-off, fallback gates,
+kill-and-resume with incremental on).
+"""
+
+import pytest
+
+from repro.analysis.aliasing import AAResults
+from repro.faults.injector import FaultInjector, FaultSpec, SessionKilled
+from repro.frontend import compile_source
+from repro.ir import (
+    clone_function_into,
+    detach_uses,
+    function_hash,
+    mirror_use_order,
+)
+from repro.oraql import (
+    BenchmarkConfig,
+    ProbingDriver,
+    SessionJournal,
+    SourceFile,
+)
+from repro.oraql.compiler import Compiler
+from repro.oraql.incremental import (
+    BaselineCache,
+    ResumeState,
+    affected_functions,
+    decision_delta,
+    effective_bit,
+)
+from repro.oraql.pass_ import DumpFlags
+from repro.oraql.sequence import DecisionSequence
+from repro.passes import CompilationContext
+
+# a workload with several functions, real aliasing hazards, and enough
+# queries that deltas land in different scopes
+SRC = """
+void scale(double* dst, double* src, int n) {
+  for (int i = 0; i < n; i++) { dst[i] = src[i] * 0.5 + 1.0; }
+}
+void axpy(double* y, double* x, int n) {
+  for (int i = 0; i < n; i++) { y[i] = y[i] + 2.0 * x[i]; }
+}
+double dot(double* a, double* b, int n) {
+  double s = 0.0;
+  for (int i = 0; i < n; i++) { s = s + a[i] * b[i]; }
+  return s;
+}
+int main() {
+  double buf[64];
+  for (int i = 0; i < 64; i++) { buf[i] = i + 1.0; }
+  scale(buf + 1, buf, 60);
+  axpy(buf, buf + 8, 32);
+  printf("s = %.6f\\n", dot(buf, buf + 2, 48));
+  return 0;
+}
+"""
+
+HAZARD_SRC = """
+void scale_shift(double* dst, double* src, int n) {
+  for (int i = 0; i < n; i++) { dst[i] = src[i] * 0.5 + 1.0; }
+}
+int main() {
+  double buf[64];
+  for (int i = 0; i < 64; i++) { buf[i] = i + 1.0; }
+  scale_shift(buf + 1, buf, 60);
+  double s = 0.0;
+  for (int i = 0; i < 64; i++) { s = s + buf[i] * i; }
+  printf("buf = %.6f\\n", s);
+  return 0;
+}
+"""
+
+
+def cfg_of(src, name="t"):
+    return BenchmarkConfig(name=name, sources=[SourceFile("t.c", src)])
+
+
+def snapshot(prog):
+    """Everything that must be bit-identical between a full and an
+    incremental compile of the same (config, sequence)."""
+    o = prog.oraql
+    aa = prog.ctx.aa
+    return {
+        "exe": prog.exe_hash,
+        "fn_hashes": dict(prog.fn_hashes),
+        "records": sorted((r.index, r.optimistic, r.scope,
+                           r.issuing_pass, r.ordinal) for r in o.records),
+        "unique": (o.opt_unique, o.pess_unique, o.opt_cached,
+                   o.pess_cached),
+        "by_pass": dict(o.unique_by_pass),
+        "chain": (aa.no_alias_count, aa.must_alias_count,
+                  aa.total_queries),
+        "chain_by_pass": dict(aa.no_alias_by_pass),
+        "by_issuer": dict(aa.queries_by_issuer),
+    }
+
+
+# ---------------------------------------------------------------------------
+# unit layer: delta computation and the baseline cache
+# ---------------------------------------------------------------------------
+
+class Rec:
+    """A minimal stand-in for QueryRecord in delta/affected units."""
+
+    def __init__(self, index, optimistic, scope="f", ordinal=0):
+        self.index = index
+        self.optimistic = optimistic
+        self.scope = scope
+        self.ordinal = ordinal
+
+
+class TestDeltaUnits:
+    def test_effective_bit_defaults_optimistic_past_end(self):
+        assert effective_bit([0, 1], 0) is False
+        assert effective_bit([0, 1], 1) is True
+        assert effective_bit([0, 1], 5) is True
+        assert effective_bit([], 0) is True
+
+    def test_decision_delta_none_when_stream_replays(self):
+        records = [Rec(0, True), Rec(1, False), Rec(2, True)]
+        assert decision_delta(records, [1, 0, 1]) is None
+        # bits past the recorded stream are never consumed
+        assert decision_delta(records, [1, 0, 1, 0, 0]) is None
+
+    def test_decision_delta_first_divergence(self):
+        records = [Rec(0, True), Rec(1, False), Rec(2, True)]
+        assert decision_delta(records, [0, 0, 1]) == 0
+        assert decision_delta(records, [1, 1, 1]) == 1
+        assert decision_delta(records, [1, 0, 0]) == 2
+        # short bits: missing indices read optimistic
+        assert decision_delta(records, []) == 1
+
+    def test_affected_functions(self):
+        records = [Rec(0, True, "f"), Rec(1, True, "g"),
+                   Rec(2, True, "f"), Rec(3, True, "h")]
+        assert affected_functions(records, 3) == {"h"}
+        assert affected_functions(records, 2) == {"f", "h"}
+        assert affected_functions(records, 0) == {"f", "g", "h"}
+
+    def test_resume_state_best_ordinal(self):
+        st = ResumeState()
+        st.snapshots[2] = object()
+        st.snapshots[5] = object()
+        assert st.best_ordinal(1) == 0   # nothing at or below 1
+        assert st.best_ordinal(2) == 2
+        assert st.best_ordinal(4) == 2
+        assert st.best_ordinal(9) == 5
+
+
+class TestBaselineCache:
+    class Prog:
+        def __init__(self, records):
+            class O:
+                pass
+            self.oraql = O()
+            self.oraql.records = records
+
+    def test_best_for_maximizes_agreement(self):
+        cache = BaselineCache()
+        far = self.Prog([Rec(0, True), Rec(1, True), Rec(2, True)])
+        near = self.Prog([Rec(0, True), Rec(1, False), Rec(2, True)])
+        cache.add(far)
+        cache.add(near)
+        # [1,0,0]: near agrees through index 1, far diverges at 1
+        assert cache.best_for([1, 0, 0]) is near
+        # full agreement (delta None) beats any partial match
+        assert cache.best_for([1, 1, 1]) is far
+
+    def test_capacity_evicts_oldest(self):
+        cache = BaselineCache(capacity=2)
+        progs = [self.Prog([Rec(0, True)]) for _ in range(3)]
+        for p in progs:
+            cache.add(p)
+        assert len(cache) == 2
+        assert cache.best_for([0]) is not progs[0]
+
+    def test_none_and_oraql_free_programs_ignored(self):
+        cache = BaselineCache()
+        cache.add(None)
+
+        class Plain:
+            oraql = None
+        cache.add(Plain())
+        assert len(cache) == 0
+        assert cache.best_for([1]) is None
+
+
+# ---------------------------------------------------------------------------
+# unit layer: clone helpers the splice/resume machinery rests on
+# ---------------------------------------------------------------------------
+
+class TestCloneHelpers:
+    def _module_and_fn(self):
+        module = compile_source(SRC, "t.c")
+        return module, module.functions["scale"]
+
+    def test_clone_is_print_identical(self):
+        module, fn = self._module_and_fn()
+        clone = clone_function_into(fn, module)
+        assert function_hash(clone) == function_hash(fn)
+
+    def test_clone_carries_fresh_name_counter(self):
+        module, fn = self._module_and_fn()
+        fn.unique_name("t")
+        fn.unique_name("t")
+        clone = clone_function_into(fn, module)
+        # the clone hands out the same next name the original would —
+        # a resumed pipeline must generate identical fresh names
+        assert clone.unique_name("t") == fn.unique_name("t")
+
+    def test_detach_uses_removes_clone_from_live_use_lists(self):
+        module, fn = self._module_and_fn()
+        clone = clone_function_into(fn, module)
+        clone_insts = set(clone.instructions())
+        # cloning registered the clone's instructions as users of live
+        # values (shared constants, globals, functions) — phantom uses
+        # that use-counting passes would observe
+        polluted = [v for inst in fn.instructions() for v in inst.operands
+                    if any(u in clone_insts for u in v.users)]
+        assert polluted, "expected the clone to register as a user"
+        detach_uses(clone)
+        for inst in fn.instructions():
+            for v in inst.operands:
+                assert not any(u in clone_insts for u in v.users)
+        for g in module.globals.values():
+            assert not any(u in clone_insts for u in g.users)
+
+    def test_mirror_use_order_replays_source_iteration_order(self):
+        module, fn = self._module_and_fn()
+        vmap = {}
+        clone = clone_function_into(fn, module, value_map=vmap)
+        detach_uses(clone)
+        mirror_use_order(fn, vmap)
+        values = list(fn.args) + [i for bb in fn.blocks
+                                  for i in bb.instructions]
+        mirrored = 0
+        for v in values:
+            c = vmap[v.id]
+            want = [vmap[u.id] for u in v.users if u.id in vmap]
+            assert list(c.users) == want
+            mirrored += len(want)
+        assert mirrored, "expected at least one mirrored use"
+
+
+# ---------------------------------------------------------------------------
+# unit layer: the per-TU merge helpers (counter folding)
+# ---------------------------------------------------------------------------
+
+class TestMergeHelpers:
+    def test_aaresults_merge_folds_counters(self):
+        a = AAResults([])
+        b = AAResults([])
+        a.no_alias_count, a.must_alias_count, a.total_queries = 3, 1, 10
+        b.no_alias_count, b.must_alias_count, b.total_queries = 2, 2, 7
+        a.no_alias_by_pass["GVN"] = 3
+        b.no_alias_by_pass["GVN"] = 1
+        b.no_alias_by_pass["DSE"] = 1
+        b.queries_by_issuer["LICM"] = 4
+        b._tally("f")[2] += 7
+        a.merge(b)
+        assert (a.no_alias_count, a.must_alias_count,
+                a.total_queries) == (5, 3, 17)
+        assert a.no_alias_by_pass["GVN"] == 4
+        assert a.no_alias_by_pass["DSE"] == 1
+        assert a.queries_by_issuer["LICM"] == 4
+        # per-(scope, ordinal) tallies folded, not replaced
+        assert sum(t[2] for t in a.scope_counts.values()) == 7
+
+    def test_aaresults_merge_self_is_noop(self):
+        a = AAResults([])
+        a.no_alias_count = 3
+        a.merge(a)
+        assert a.no_alias_count == 3
+
+    def test_context_merge_folds_everything(self):
+        m1 = compile_source("int main() { return 0; }", "a.c")
+        m2 = compile_source("int main() { return 0; }", "b.c")
+        c1, c2 = CompilationContext(m1), CompilationContext(m2)
+        c1.pass_executions, c2.pass_executions = 4, 6
+        c2.aa.no_alias_count = 5
+        c2.debug_log.append("from-tu-2")
+        c1.merge(c2)
+        assert c1.pass_executions == 10
+        assert c1.aa.no_alias_count == 5
+        assert "from-tu-2" in c1.debug_log
+        # merging a context into itself must not double anything
+        c1.merge(c1)
+        assert c1.pass_executions == 10
+
+
+# ---------------------------------------------------------------------------
+# end to end: incremental compiles are bit-identical to full compiles
+# ---------------------------------------------------------------------------
+
+class TestIncrementalCompiler:
+    @pytest.fixture(scope="class")
+    def base(self):
+        compiler = Compiler()
+        cfg = cfg_of(SRC)
+        prog = compiler.compile(cfg, DecisionSequence(),
+                                oraql_enabled=True, collect_resume=True)
+        assert prog.oraql.unique_queries >= 3
+        return compiler, cfg, prog
+
+    def _pair(self, base, bits):
+        """(incremental, full) programs for the same bits."""
+        compiler, cfg, baseline = base
+        inc = compiler.compile(cfg, DecisionSequence(list(bits)),
+                               oraql_enabled=True, baseline=baseline,
+                               collect_resume=True)
+        full = Compiler().compile(cfg, DecisionSequence(list(bits)),
+                                  oraql_enabled=True)
+        return inc, full
+
+    def test_identical_bits_pure_splice(self, base):
+        _, _, baseline = base
+        n = baseline.oraql.unique_queries
+        inc, full = self._pair(base, [1] * n)
+        assert inc.incremental is not None
+        assert inc.incremental.delta is None
+        assert inc.incremental.reoptimized == 0
+        assert snapshot(inc) == snapshot(full)
+        # splicing everything runs no passes at all
+        assert inc.pass_executions == 0
+
+    @pytest.mark.parametrize("flip", ["first", "mid", "last"])
+    def test_flip_bit_identical(self, base, flip):
+        _, _, baseline = base
+        n = baseline.oraql.unique_queries
+        k = {"first": 0, "mid": n // 2, "last": n - 1}[flip]
+        bits = [1] * n
+        bits[k] = 0
+        inc, full = self._pair(base, bits)
+        assert inc.incremental is not None
+        assert snapshot(inc) == snapshot(full)
+        assert inc.pass_executions < full.pass_executions
+
+    def test_chained_baselines_stay_bit_identical(self, base):
+        compiler, cfg, baseline = base
+        n = baseline.oraql.unique_queries
+        bits = [1] * n
+        bits[n - 1] = 0
+        mid = compiler.compile(cfg, DecisionSequence(list(bits)),
+                               oraql_enabled=True, baseline=baseline,
+                               collect_resume=True)
+        assert mid.incremental is not None
+        bits[0] = 0
+        inc = compiler.compile(cfg, DecisionSequence(list(bits)),
+                               oraql_enabled=True, baseline=mid,
+                               collect_resume=True)
+        full = Compiler().compile(cfg, DecisionSequence(list(bits)),
+                                  oraql_enabled=True)
+        assert inc.incremental is not None
+        assert snapshot(inc) == snapshot(full)
+
+    def test_mid_pipeline_resume_happens(self, base):
+        """Somewhere in the flip matrix a function must actually resume
+        mid-pipeline (not just re-run from the frontend) — otherwise
+        the snapshot machinery is dead weight."""
+        _, _, baseline = base
+        n = baseline.oraql.unique_queries
+        skipped = 0
+        for k in range(n):
+            bits = [1] * n
+            bits[k] = 0
+            inc, full = self._pair(base, bits)
+            assert inc.incremental is not None, f"fell back at flip {k}"
+            assert snapshot(inc) == snapshot(full), f"mismatch at flip {k}"
+            skipped += inc.incremental.passes_resumed_past
+        assert skipped > 0
+
+    def test_outcome_bookkeeping(self, base):
+        _, _, baseline = base
+        n = baseline.oraql.unique_queries
+        bits = [1] * n
+        bits[n - 1] = 0
+        inc, _ = self._pair(base, bits)
+        out = inc.incremental
+        assert out.reoptimized >= 1
+        assert out.spliced >= 1
+        assert out.reoptimized + out.spliced <= out.total_functions
+        assert out.resumed <= out.reoptimized
+        assert inc.fn_hashes  # per-function hashes always exposed
+
+
+class TestFallbackGates:
+    def test_multi_tu_without_lto_falls_back(self):
+        cfg = BenchmarkConfig(name="2tu", sources=[
+            SourceFile("a.c", "double f(double* p) { return p[0]; }"),
+            SourceFile("b.c", "int main() { double x[2]; x[0] = 3.0;"
+                              " printf(\"%.1f\\n\", x[0]); return 0; }"),
+        ])
+        compiler = Compiler()
+        base = compiler.compile(cfg, DecisionSequence(),
+                                oraql_enabled=True, collect_resume=True)
+        prog = compiler.compile(cfg, DecisionSequence([0]),
+                                oraql_enabled=True, baseline=base)
+        assert prog.incremental is None
+        assert compiler.incremental_attempts >= 1
+
+    def test_dump_mode_skips_incremental_entirely(self):
+        cfg = cfg_of(SRC)
+        compiler = Compiler()
+        base = compiler.compile(cfg, DecisionSequence(),
+                                oraql_enabled=True, collect_resume=True)
+        before = compiler.incremental_attempts
+        prog = compiler.compile(cfg, DecisionSequence([0]),
+                                oraql_enabled=True, baseline=base,
+                                dump=DumpFlags(first=True, optimistic=True,
+                                               pessimistic=True))
+        assert prog.incremental is None
+        assert compiler.incremental_attempts == before  # gated, not tried
+
+    def test_oraql_free_baseline_falls_back(self):
+        cfg = cfg_of(SRC)
+        compiler = Compiler()
+        base = compiler.compile(cfg)  # no ORAQL records at all
+        prog = compiler.compile(cfg, DecisionSequence([0]),
+                                oraql_enabled=True, baseline=base)
+        assert prog.incremental is None
+
+    def test_different_config_object_falls_back(self):
+        compiler = Compiler()
+        base = compiler.compile(cfg_of(SRC), DecisionSequence(),
+                                oraql_enabled=True, collect_resume=True)
+        prog = compiler.compile(cfg_of(SRC), DecisionSequence([0]),
+                                oraql_enabled=True, baseline=base)
+        assert prog.incremental is None
+
+
+class TestFnHashDump:
+    def test_fn_hashes_match_bodies_and_dump_lines(self):
+        cfg = cfg_of(SRC)
+        prog = Compiler().compile(
+            cfg, DecisionSequence(), oraql_enabled=True,
+            dump=DumpFlags(first=True, optimistic=True, pessimistic=True))
+        for name, fn in prog.ctx.module.functions.items():
+            assert prog.fn_hashes[name] == function_hash(fn)
+        lines = [l for l in prog.ctx.debug_log
+                 if l.startswith("[fn-hash] ")]
+        assert len(lines) == len(prog.fn_hashes)
+        for line in lines:
+            _, name, fh = line.split()
+            assert prog.fn_hashes[name] == fh
+
+
+# ---------------------------------------------------------------------------
+# driver layer: --incremental on must change costs, never results
+# ---------------------------------------------------------------------------
+
+class TestDriverOnOff:
+    @pytest.mark.parametrize("src", [SRC, HAZARD_SRC])
+    def test_probing_bit_identical(self, src):
+        cfg = cfg_of(src)
+        on = ProbingDriver(cfg, incremental="on").run()
+        off = ProbingDriver(cfg, incremental="off").run()
+        assert on.pessimistic_indices == off.pessimistic_indices
+        assert on.final_program.exe_hash == off.final_program.exe_hash
+        assert on.final_program.fn_hashes == off.final_program.fn_hashes
+        # the report's query statistics come from the final compile,
+        # which ran incrementally — they must still be exact
+        assert (on.opt_unique, on.pess_unique, on.opt_cached,
+                on.pess_cached) == (off.opt_unique, off.pess_unique,
+                                    off.opt_cached, off.pess_cached)
+        assert on.unique_by_pass == off.unique_by_pass
+        assert on.no_alias_oraql == off.no_alias_oraql
+        assert on.incremental_enabled and not off.incremental_enabled
+        assert on.incremental_compiles > 0
+        assert on.pass_executions < off.pass_executions
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ProbingDriver(cfg_of(SRC), incremental="sometimes")
+
+
+class TestKillAndResumeIncremental:
+    """Satellite acceptance: kill an ``--incremental on`` session
+    mid-flight, resume it from the journal, and require the resumed
+    report to match an uninterrupted *full-compile* run bit for bit."""
+
+    def test_resume_with_incremental_is_bit_identical(self, tmp_path):
+        cfg = cfg_of(HAZARD_SRC)
+        ref = ProbingDriver(cfg, incremental="off").run()
+        assert not ref.fully_optimistic
+
+        jdir = str(tmp_path / "journal")
+        injector = FaultInjector([FaultSpec("session-kill", at=2)])
+        journal = SessionJournal.for_config(jdir, cfg, "chunked")
+        with pytest.raises(SessionKilled):
+            ProbingDriver(cfg, journal=journal, injector=injector,
+                          incremental="on").run()
+
+        resumed_journal = SessionJournal.for_config(jdir, cfg, "chunked",
+                                                    resume=True)
+        assert not resumed_journal.completed
+        rep = ProbingDriver(cfg, journal=resumed_journal,
+                            incremental="on").run()
+        assert rep.pessimistic_indices == ref.pessimistic_indices
+        assert rep.final_program.exe_hash == ref.final_program.exe_hash
+        assert rep.final_program.fn_hashes == ref.final_program.fn_hashes
+        assert rep.tests_run + rep.tests_cached \
+            == ref.tests_run + ref.tests_cached
+        final = SessionJournal.for_config(jdir, cfg, "chunked",
+                                          resume=True)
+        assert final.completed
+        assert final.pessimistic_from_done == ref.pessimistic_indices
