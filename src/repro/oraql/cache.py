@@ -92,6 +92,21 @@ class VerdictCache:
         os.makedirs(cache_dir, exist_ok=True)
         self._load()
 
+    @classmethod
+    def shard_for(cls, root_dir: str, fingerprint: str) -> "VerdictCache":
+        """The per-config-fingerprint cache shard under ``root_dir``.
+
+        The service keys its verdict store by fingerprint so concurrent
+        sessions only contend on the shard of the configuration they are
+        actually probing: shard files live at
+        ``root_dir/<fp[:2]>/<fp>.jsonl`` (the two-character fan-out keeps
+        any one directory small on wide fleets).  Every session of the
+        same configuration — concurrent or not — opens the same shard,
+        which is what makes N simultaneous sessions of one workload
+        share verdicts instead of re-paying the test bill N times."""
+        return cls(os.path.join(root_dir, fingerprint[:2]),
+                   filename=f"{fingerprint}.jsonl")
+
     # -- persistence -----------------------------------------------------
     def _load(self) -> None:
         if not os.path.exists(self.path):
@@ -142,7 +157,22 @@ class VerdictCache:
         Drops superseded duplicates, corrupt lines, and foreign-schema
         records; the replacement is atomic (write-temp + rename), so
         concurrent readers see either the old or the new file, never a
-        partial one.  Returns ``(lines_before, lines_after)``."""
+        partial one.  Returns ``(lines_before, lines_after)``.
+
+        Concurrent-reader guarantee: compaction never makes a verdict
+        another process could already observe disappear or change.  A
+        reader that opened the file before the rename keeps reading the
+        old inode to its end (POSIX rename semantics — no torn mix of
+        old and new bytes); a reader that opens after the rename sees
+        the compacted file, which contains every key of the old one
+        (compaction drops only *superseded duplicates* of a key, never
+        the key's surviving record); and a reader's :meth:`refresh` at
+        any point around the rename therefore yields the same
+        ``get``/``get_record`` answers.  Writers racing a compaction can
+        lose *their in-flight append* (the rename replaces the file they
+        appended to) — re-putting after :meth:`refresh` restores it —
+        so the service runs compaction only from the cache owner, never
+        from probing workers."""
         self.refresh()
         before = 0
         if os.path.exists(self.path):

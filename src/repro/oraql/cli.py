@@ -22,6 +22,24 @@ import sys
 from typing import List, Optional
 
 
+#: subcommand name -> entry point taking the remaining argv; a bare
+#: first argument that is none of these is refused with exit status 2
+#: and a usage message naming them (never an attribute traceback)
+SUBCOMMANDS = ("importance",)
+
+
+def _resolve_workload(parser: argparse.ArgumentParser, name: str):
+    """A workload row by name, or a structured parser error (exit 2)
+    naming the known rows — never a raw ``KeyError`` traceback."""
+    from ..workloads.base import get_config, row_names
+    try:
+        return get_config(name)
+    except KeyError:
+        parser.error(f"unknown workload {name!r} "
+                     f"(known: {', '.join(row_names())}; "
+                     f"see 'oraql --list')")
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="oraql",
@@ -174,8 +192,7 @@ def importance_main(argv: Optional[List[str]] = None) -> int:
 
     from .config import BenchmarkConfig
     if args.workload:
-        from ..workloads.base import get_config
-        cfg = get_config(args.workload)
+        cfg = _resolve_workload(parser, args.workload)
     elif args.config:
         with open(args.config) as f:
             cfg = BenchmarkConfig.from_json(f.read())
@@ -216,8 +233,14 @@ def importance_main(argv: Optional[List[str]] = None) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
-    if argv and argv[0] == "importance":
-        return importance_main(argv[1:])
+    if argv and argv[0] and not argv[0].startswith("-"):
+        if argv[0] == "importance":
+            return importance_main(argv[1:])
+        print(f"error: unknown subcommand {argv[0]!r} "
+              f"(known: {', '.join(SUBCOMMANDS)})", file=sys.stderr)
+        print("usage: oraql [SUBCOMMAND] [OPTIONS]; "
+              "see 'oraql --help'", file=sys.stderr)
+        return 2
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.jobs < 1:
@@ -257,8 +280,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     from .report import render_report
 
     if args.workload:
-        from ..workloads.base import get_config
-        cfg = get_config(args.workload)
+        cfg = _resolve_workload(parser, args.workload)
     elif args.config:
         with open(args.config) as f:
             cfg = BenchmarkConfig.from_json(f.read())

@@ -123,6 +123,10 @@ class ProbingReport:
     codegen_cache_hits: int = 0
     codegen_cache_misses: int = 0
     pass_executions: int = 0
+    #: content hash of the final executable — the cross-process identity
+    #: the service's bit-identity contract is stated in (the live
+    #: ``final_program`` does not survive :meth:`detach_for_transport`)
+    final_exe_hash: Optional[str] = None
     # provenance
     unique_by_pass: Dict[str, int] = field(default_factory=dict)
     pessimistic_records: List[QueryRecord] = field(default_factory=list)
@@ -197,7 +201,8 @@ class ProbingDriver:
                  journal: Optional[SessionJournal] = None,
                  injector: Optional[FaultInjector] = None,
                  trace=None,
-                 incremental: str = "off"):
+                 incremental: str = "off",
+                 baselines: Optional[BaselineCache] = None):
         if strategy not in ("chunked", "frequency"):
             raise ValueError(f"unknown strategy {strategy!r}")
         if incremental not in ("on", "off"):
@@ -207,8 +212,12 @@ class ProbingDriver:
         self.strategy = strategy
         self.incremental = incremental == "on"
         #: recent probe programs, candidate baselines for delta-keyed
-        #: incremental recompilation (``--incremental on``)
-        self._baselines = BaselineCache()
+        #: incremental recompilation (``--incremental on``).  An
+        #: externally supplied cache outlives this driver: the service's
+        #: workers share one pool per config fingerprint, so concurrent
+        #: sessions on the same workload hash-hit each other's compiles
+        self._baselines = baselines if baselines is not None \
+            else BaselineCache()
         self.max_tests = max_tests
         self.verifier: Optional[VerificationScript] = None
         self.verdict_cache = verdict_cache
@@ -432,6 +441,7 @@ class ProbingDriver:
         report.final_sequence = final_seq
         report.pessimistic_indices = sorted(pess)
         report.final_program = final
+        report.final_exe_hash = final.exe_hash
         oraql = final.oraql
         report.opt_unique = oraql.opt_unique
         report.opt_cached = oraql.opt_cached

@@ -77,6 +77,19 @@ def _decode(line: str) -> Optional[dict]:
     return rec
 
 
+def encode_record(rec: dict) -> str:
+    """One CRC-carrying journal line (without the trailing newline).
+
+    Public so other append-only logs — the service's job table — share
+    the journal's torn-write detection instead of reinventing it."""
+    return _encode(rec)
+
+
+def decode_record(line: str) -> Optional[dict]:
+    """Inverse of :func:`encode_record`; ``None`` = corrupt/torn line."""
+    return _decode(line)
+
+
 class SessionJournal:
     """One probing session's durable verdict log.
 

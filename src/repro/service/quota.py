@@ -1,0 +1,137 @@
+"""Per-tenant quotas, enforced through the existing executor budgets.
+
+A tenant is a named client of the service (the ``hello``/``submit``
+``tenant`` field).  Its quota caps what any one job may consume — and
+how many jobs may run at once — by *clamping into the machinery that
+already exists* rather than adding a second enforcement layer:
+
+* ``fuel`` / ``wall_clock`` become the
+  :class:`~repro.oraql.executor.ExecutorPolicy` budgets of the job's
+  :class:`~repro.oraql.executor.TestExecutor`, so an over-budget run
+  ends in a ``step-limit`` triage verdict exactly as ``--test-fuel``
+  would produce;
+* ``max_tests`` clamps the probing driver's test budget, so an
+  over-long bisection degrades to a ``budget_exhausted`` partial
+  report, never a hung worker;
+* ``max_active`` is the scheduler-level admission control: a submit
+  past it is refused with a ``quota-exceeded`` error the client can
+  retry after one of its jobs drains.
+
+Fuel and wall-clock caps can change verdicts (a legitimately slow run
+becomes a step-limit failure), so the bit-identity contract is stated
+for uncapped tenants; capped tenants trade fidelity for isolation,
+which is the point of a quota.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+class QuotaExceeded(RuntimeError):
+    """A submit was refused by tenant admission control."""
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Resource ceilings for one tenant; ``None`` = unlimited."""
+
+    name: str = "default"
+    #: concurrent jobs admitted for this tenant
+    max_active: Optional[int] = None
+    #: per-test instruction budget ceiling
+    fuel: Optional[int] = None
+    #: per-test wall-clock ceiling in seconds
+    wall_clock: Optional[float] = None
+    #: probing test-budget ceiling per job
+    max_tests: Optional[int] = None
+
+    def admit(self, active: int) -> None:
+        """Refuse a new job when the tenant is at ``max_active``."""
+        if self.max_active is not None and active >= self.max_active:
+            raise QuotaExceeded(
+                f"tenant {self.name!r} already has {active} active "
+                f"job(s) (quota {self.max_active})")
+
+    def clamp_fuel(self, requested: Optional[int]) -> Optional[int]:
+        if self.fuel is None:
+            return requested
+        return self.fuel if requested is None else min(requested, self.fuel)
+
+    def clamp_wall_clock(self,
+                         requested: Optional[float]) -> Optional[float]:
+        if self.wall_clock is None:
+            return requested
+        return (self.wall_clock if requested is None
+                else min(requested, self.wall_clock))
+
+    def clamp_max_tests(self, requested: int) -> int:
+        if self.max_tests is None:
+            return requested
+        return min(requested, self.max_tests)
+
+
+#: ``--tenant`` spec fields and their parsers
+_FIELDS = {
+    "max_active": int,
+    "fuel": int,
+    "wall_clock": float,
+    "max_tests": int,
+}
+
+
+def parse_tenant_spec(spec: str) -> TenantQuota:
+    """Parse one ``--tenant NAME:key=value,...`` command-line spec.
+
+    Example: ``team-a:max_active=2,fuel=2000000,wall_clock=5``.
+    A bare ``NAME`` declares an unrestricted tenant.
+    """
+    name, _, rest = spec.partition(":")
+    name = name.strip()
+    if not name:
+        raise ValueError(f"tenant spec {spec!r} has an empty name")
+    kwargs: Dict[str, object] = {}
+    if rest.strip():
+        for item in rest.split(","):
+            key, sep, value = item.partition("=")
+            key = key.strip()
+            if not sep or key not in _FIELDS:
+                raise ValueError(
+                    f"bad tenant quota field {item!r} in {spec!r} "
+                    f"(known: {', '.join(sorted(_FIELDS))})")
+            try:
+                kwargs[key] = _FIELDS[key](value.strip())
+            except ValueError:
+                raise ValueError(
+                    f"bad value for {key!r} in tenant spec {spec!r}: "
+                    f"{value.strip()!r}")
+    return TenantQuota(name=name, **kwargs)
+
+
+class QuotaRegistry:
+    """Tenant name → quota, with an unrestricted default.
+
+    Unknown tenants fall back to the registry's default quota, so an
+    open service needs no pre-registration while a locked-down one can
+    pass ``default_quota=TenantQuota("default", max_active=0)`` to
+    refuse anonymous traffic outright."""
+
+    def __init__(self, quotas: Optional[Dict[str, TenantQuota]] = None,
+                 default_quota: Optional[TenantQuota] = None):
+        self._quotas = dict(quotas or {})
+        self._default = default_quota or TenantQuota()
+
+    @classmethod
+    def from_specs(cls, specs) -> "QuotaRegistry":
+        quotas = {}
+        for spec in specs or ():
+            quota = parse_tenant_spec(spec)
+            quotas[quota.name] = quota
+        return cls(quotas)
+
+    def get(self, tenant: str) -> TenantQuota:
+        return self._quotas.get(tenant, self._default)
+
+    def __len__(self) -> int:
+        return len(self._quotas)

@@ -11,10 +11,12 @@ from .events import (RESPONDER_NONE, RESPONDER_ORAQL, RESPONDER_OVERRIDE,
 from .export import (read_chrome, read_jsonl, validate_chrome, write_chrome,
                      write_jsonl)
 from .sink import QueryTrace
+from .stream import EventTail, JsonlStreamingTrace
 from .timer import PhaseNode, PhaseTimer, render_tree
 
 __all__ = [
     "QueryTrace", "PhaseTimer", "PhaseNode", "render_tree",
+    "JsonlStreamingTrace", "EventTail",
     "write_jsonl", "read_jsonl", "write_chrome", "read_chrome",
     "validate_chrome",
     "RESPONDER_NONE", "RESPONDER_ORAQL", "RESPONDER_OVERRIDE",

@@ -53,20 +53,26 @@ class QueryTrace:
         self._compile_count = 0
 
     # -- wiring ------------------------------------------------------------
+    def _emit(self, rec: dict) -> None:
+        """Record one event.  The single funnel every record constructor
+        goes through; streaming subclasses override it to also ship the
+        record out (``repro.trace.stream``)."""
+        self.records.append(rec)
+
     def bind_context(self, ctx) -> None:
         """Adopt ``ctx``'s live pass stack for event attribution."""
         self._stack = ctx.pass_stack
 
     def session(self, config_name: str, strategy: str) -> None:
         if self.record_events:
-            self.records.append(ev.meta_record(config_name, strategy))
+            self._emit(ev.meta_record(config_name, strategy))
 
     def begin_compile(self, label: str,
                       bits: Optional[Sequence[int]] = None) -> None:
         self._compile_count += 1
         self._oraql_log.clear()
         if self.record_events:
-            self.records.append(
+            self._emit(
                 ev.compile_record(self._compile_count, label, bits))
 
     # -- query events ------------------------------------------------------
@@ -78,7 +84,7 @@ class QueryTrace:
         """A query resolved before (or without) the ORAQL pass."""
         if not self.record_events:
             return
-        self.records.append(ev.query_record(
+        self._emit(ev.query_record(
             self._issuer(), self._stack, function,
             ev.pointer_fingerprint(a, b), responder, response))
 
@@ -88,7 +94,7 @@ class QueryTrace:
         self._oraql_log.append((index, optimistic))
         if not self.record_events:
             return
-        self.records.append(ev.query_record(
+        self._emit(ev.query_record(
             self._issuer(), self._stack, function,
             ev.pointer_fingerprint(a, b), ev.RESPONDER_ORAQL,
             "NoAlias" if optimistic else "MayAlias",
@@ -99,7 +105,7 @@ class QueryTrace:
         probing scope (target filter, function/file restriction)."""
         if not self.record_events:
             return
-        self.records.append(ev.query_record(
+        self._emit(ev.query_record(
             self._issuer(), self._stack, function,
             ev.pointer_fingerprint(a, b), ev.RESPONDER_NONE, "MayAlias"))
 
@@ -124,7 +130,7 @@ class QueryTrace:
                 message += (" because ORAQL said no-alias("
                             + ", ".join(f"q{i}" for i in queries) + ")")
         if self.record_events:
-            self.records.append(
+            self._emit(
                 ev.remark_record(pass_name, function, message, queries))
 
     # -- per-compile bookkeeping -------------------------------------------
@@ -134,11 +140,11 @@ class QueryTrace:
         if not self.record_events:
             return
         for pass_name, stat, value in stats.rows():
-            self.records.append(ev.stat_record(pass_name, stat, value))
+            self._emit(ev.stat_record(pass_name, stat, value))
 
     def record_done(self, pessimistic_indices: Sequence[int]) -> None:
         if self.record_events:
-            self.records.append(ev.done_record(pessimistic_indices))
+            self._emit(ev.done_record(pessimistic_indices))
 
     # -- timing ------------------------------------------------------------
     @contextmanager

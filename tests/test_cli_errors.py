@@ -1,0 +1,55 @@
+"""CLI error-path tests: unknown subcommands and unknown workloads
+must exit 2 with a structured message, never a traceback."""
+
+import pytest
+
+from repro.oraql.cli import importance_main, main
+
+
+class TestUnknownSubcommand:
+    def test_exit_2_with_usage(self, capsys):
+        assert main(["bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown subcommand 'bogus'" in err
+        assert "importance" in err      # names the known subcommands
+        assert "usage:" in err
+        assert "Traceback" not in err
+
+    def test_subcommand_like_typo(self, capsys):
+        assert main(["importence"]) == 2
+        assert "unknown subcommand" in capsys.readouterr().err
+
+    def test_known_subcommand_still_dispatches(self, capsys):
+        # `oraql importance` without a config reports its own error,
+        # proving dispatch reached importance_main
+        assert main(["importance"]) == 2
+        assert "--config / --workload" in capsys.readouterr().err
+
+    def test_flags_still_reach_main_parser(self, capsys):
+        assert main(["--list"]) == 0
+        assert "MiniGMG-sse" in capsys.readouterr().out
+
+
+class TestUnknownWorkload:
+    def test_main_exits_2_and_names_rows(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--workload", "NoSuchBench"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown workload 'NoSuchBench'" in err
+        assert "MiniGMG-sse" in err     # lists the known rows
+        assert "KeyError" not in err
+
+    def test_importance_exits_2_and_names_rows(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            importance_main(["--workload", "NoSuchBench"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown workload 'NoSuchBench'" in err
+        assert "MiniGMG-sse" in err
+
+    def test_importance_via_main_dispatch(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["importance", "--workload", "NoSuchBench"])
+        assert exc.value.code == 2
+        assert "unknown workload" in capsys.readouterr().err

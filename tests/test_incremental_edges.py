@@ -1,0 +1,161 @@
+"""Edge-case unit tests for the incremental-recompilation primitives:
+``decision_delta`` and :class:`RemappedDecisionSequence`.
+
+These pin the boundary behaviors the differential suites only hit
+implicitly: empty baselines, a divergence at index 0, and the
+past-end-of-sequence optimism rule (§IV-A: an exhausted sequence
+answers no-alias) interacting with scope boundaries.
+"""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.oraql.incremental import (ReplayDivergence,
+                                     RemappedDecisionSequence,
+                                     affected_functions, decision_delta,
+                                     effective_bit, sub_delta_indices)
+
+
+@dataclass
+class Rec:
+    """The slice of a QueryRecord the delta machinery reads."""
+    index: int
+    optimistic: bool
+    scope: str = "f"
+
+
+class TestEffectiveBit:
+    def test_explicit_bits(self):
+        assert effective_bit([1, 0], 0) is True
+        assert effective_bit([1, 0], 1) is False
+
+    def test_past_end_is_optimistic(self):
+        assert effective_bit([], 0) is True
+        assert effective_bit([0], 5) is True
+
+
+class TestDecisionDelta:
+    def test_empty_baseline_has_no_delta(self):
+        # a baseline that never consulted ORAQL can't diverge
+        assert decision_delta([], [0, 1, 0]) is None
+        assert decision_delta([], []) is None
+
+    def test_delta_at_index_zero(self):
+        records = [Rec(0, True), Rec(1, True)]
+        assert decision_delta(records, [0, 1]) == 0
+
+    def test_verbatim_replay_is_none(self):
+        records = [Rec(0, True), Rec(1, False), Rec(2, True)]
+        assert decision_delta(records, [1, 0, 1]) is None
+
+    def test_short_bits_replay_via_exhaustion_optimism(self):
+        # bits shorter than the stream: past-end indices answer
+        # optimistically, matching an all-optimistic baseline tail
+        records = [Rec(0, True), Rec(1, True), Rec(2, True)]
+        assert decision_delta(records, []) is None
+        assert decision_delta(records, [1]) is None
+
+    def test_exhaustion_mismatch_detected(self):
+        # the baseline answered pessimistically where the new (shorter)
+        # sequence would answer optimistically past its end
+        records = [Rec(0, True), Rec(1, False)]
+        assert decision_delta(records, [1]) == 1
+
+    def test_first_divergence_wins(self):
+        records = [Rec(0, True), Rec(1, True), Rec(2, True)]
+        assert decision_delta(records, [1, 0, 0]) == 1
+
+    def test_cached_reasks_respected(self):
+        # the same index consulted twice (cache hits re-recorded): both
+        # consultations are compared, neither double-counts
+        records = [Rec(0, True), Rec(0, True), Rec(1, False)]
+        assert decision_delta(records, [1, 0]) is None
+        assert decision_delta(records, [0, 0]) == 0
+
+
+class TestScopeBoundaries:
+    # two functions, f owning indices 0-1 and g owning 2-3; the flip
+    # lands exactly on g's first index past the shortened sequence
+    RECORDS = [Rec(0, True, "f"), Rec(1, True, "f"),
+               Rec(2, True, "g"), Rec(3, False, "g")]
+
+    def test_exhaustion_delta_lands_on_scope_boundary(self):
+        # bits = [1,1,1]: indices 0-2 replay, index 3 flips (past-end
+        # optimism True vs baseline False)
+        delta = decision_delta(self.RECORDS, [1, 1, 1])
+        assert delta == 3
+
+    def test_affected_functions_only_past_delta(self):
+        assert affected_functions(self.RECORDS, 3) == {"g"}
+        assert affected_functions(self.RECORDS, 2) == {"g"}
+        assert affected_functions(self.RECORDS, 1) == {"f", "g"}
+        assert affected_functions(self.RECORDS, 0) == {"f", "g"}
+
+    def test_sub_delta_indices_are_scope_owned_prefix(self):
+        # g re-fills its own index 2 before reaching the divergence
+        assert sub_delta_indices(self.RECORDS, 3, {"g"}) == [2]
+        assert sub_delta_indices(self.RECORDS, 3, {"f"}) == [0, 1]
+        assert sub_delta_indices(self.RECORDS, 0, {"f", "g"}) == []
+
+
+class TestRemappedDecisionSequence:
+    def test_sub_then_delta_indexing(self):
+        seq = RemappedDecisionSequence(bits=[0, 1, 0, 1], sub=[1],
+                                       delta=2)
+        # miss 0 lands on sub[0]=1, then 2, 3, 4, ...
+        assert seq.consumed == 1
+        assert seq.next() is True     # bits[1]
+        assert seq.consumed == 2
+        assert seq.next() is False    # bits[2]
+        assert seq.next() is True     # bits[3]
+        assert seq.next() is True     # past the end: optimistic
+        assert seq.misses == 4
+
+    def test_empty_sub_starts_at_delta(self):
+        seq = RemappedDecisionSequence(bits=[1, 1, 0], sub=[], delta=2)
+        assert seq.consumed == 2
+        assert seq.next() is False
+
+    def test_delta_zero_with_empty_bits(self):
+        # the degenerate fully-optimistic restricted run: every miss
+        # past an empty sequence answers no-alias
+        seq = RemappedDecisionSequence(bits=[], sub=[], delta=0)
+        assert [seq.next() for _ in range(4)] == [True] * 4
+
+    def test_reset_replays(self):
+        seq = RemappedDecisionSequence(bits=[0, 1], sub=[0], delta=1)
+        first = [seq.next(), seq.next()]
+        seq.reset()
+        assert [seq.next(), seq.next()] == first
+
+    def test_schedule_match_passes(self):
+        seq = RemappedDecisionSequence(
+            bits=[1, 1], sub=[0], delta=1,
+            schedule=[("f", 3), ("f", 3)])
+        seq.observe("f", 3)
+        seq.next()
+        seq.observe("f", 3)
+        seq.next()
+
+    def test_schedule_divergence_raises(self):
+        seq = RemappedDecisionSequence(
+            bits=[1], sub=[], delta=0, schedule=[("f", 3)])
+        with pytest.raises(ReplayDivergence):
+            seq.observe("g", 3)   # wrong scope
+        seq.reset()
+        with pytest.raises(ReplayDivergence):
+            seq.observe("f", 4)   # wrong ordinal
+
+    def test_miss_past_schedule_raises(self):
+        seq = RemappedDecisionSequence(
+            bits=[1], sub=[], delta=0, schedule=[("f", 0)])
+        seq.observe("f", 0)
+        seq.next()
+        with pytest.raises(ReplayDivergence):
+            seq.observe("f", 0)   # one miss more than predicted
+
+    def test_no_schedule_means_no_guard(self):
+        seq = RemappedDecisionSequence(bits=[1], sub=[], delta=0)
+        seq.observe("anything", 99)  # silently accepted
+        assert seq.next() is True
