@@ -69,6 +69,9 @@ class CampaignOptions:
     corpus_dir: Optional[str] = None
     #: cap on corpus entries written per campaign
     max_corpus_entries: int = 8
+    #: probing strategies for the bisection referee (first = primary,
+    #: rest cross-checked per divergent case); None = chunked only
+    strategies: Optional[List[str]] = None
 
 
 @dataclass
@@ -231,7 +234,8 @@ def run_seed(seed: int, opts: CampaignOptions) -> SeedResult:
     cache = VerdictCache(opts.cache_dir) if opts.cache_dir else None
     oracle = DifferentialOracle(verdict_cache=cache,
                                 opt_level=opts.opt_level,
-                                max_tests=opts.max_tests)
+                                max_tests=opts.max_tests,
+                                strategies=opts.strategies or ["chunked"])
     check = oracle.check(seed, program.source)
     result.outcomes = dict(check.outcomes)
     result.findings = [asdict(f) for f in check.findings]

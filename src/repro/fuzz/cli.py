@@ -60,6 +60,12 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="N")
     p.add_argument("--max-tests", type=int, default=2_000, metavar="N",
                    help="probing-driver test budget per bisection")
+    p.add_argument("--strategies", metavar="S1,S2,...|all",
+                   help="probing strategies for the bisection referee: "
+                        "'all' for every registered strategy, or a "
+                        "comma-separated list; the first is the primary "
+                        "and the rest are cross-checked against it per "
+                        "divergent case (default: chunked only)")
     p.add_argument("--cache-dir", metavar="DIR",
                    help="persistent verdict cache shared with the "
                         "probing drivers (same format as oraql "
@@ -138,6 +144,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error(f"--chaos-injections must be >= 1 "
                      f"(got {args.chaos_injections})")
 
+    strategies = None
+    if args.strategies:
+        from ..oraql.strategies import strategy_names
+        if args.strategies.strip() == "all":
+            strategies = strategy_names()
+        else:
+            strategies = [s.strip() for s in args.strategies.split(",")
+                          if s.strip()]
+            unknown = sorted(set(strategies) - set(strategy_names()))
+            if unknown:
+                parser.error(f"--strategies: unknown strategy(ies) "
+                             f"{', '.join(unknown)} (choose from "
+                             f"{', '.join(strategy_names())})")
+
     if args.chaos:
         return _run_chaos(args, parser)
 
@@ -148,7 +168,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         reduce=not args.no_reduce,
         max_reduce_trials=args.max_reduce_trials,
         max_tests=args.max_tests, cache_dir=args.cache_dir,
-        corpus_dir=args.corpus_dir)
+        corpus_dir=args.corpus_dir, strategies=strategies)
 
     done = 0
 

@@ -43,7 +43,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from ..oraql.cache import VerdictCache, config_fingerprint
 from ..oraql.compiler import CompiledProgram, Compiler
@@ -113,11 +113,16 @@ class DifferentialOracle:
     def __init__(self, compiler: Optional[Compiler] = None,
                  verdict_cache: Optional[VerdictCache] = None,
                  opt_level: int = 3,
-                 max_tests: int = 2_000):
+                 max_tests: int = 2_000,
+                 strategies: Sequence[str] = ("chunked",)):
         self.compiler = compiler or Compiler()
         self.verdict_cache = verdict_cache
         self.opt_level = opt_level
         self.max_tests = max_tests
+        #: probing strategies the bisection referee runs; the first is
+        #: the primary (its pessimistic set is the reported answer),
+        #: the rest are cross-checked against it per divergent case
+        self.strategies = list(strategies) or ["chunked"]
 
     # -- single compile+run -------------------------------------------------
     def _run(self, result: OracleResult, config: BenchmarkConfig,
@@ -254,6 +259,7 @@ class DifferentialOracle:
             fp = config_fingerprint(probe_cfg)
             self.verdict_cache.put(VerdictCache.key(fp, opt.exe_hash), False)
         driver = ProbingDriver(probe_cfg, compiler=self.compiler,
+                               strategy=self.strategies[0],
                                max_tests=self.max_tests,
                                verdict_cache=self.verdict_cache)
         try:
@@ -276,6 +282,57 @@ class DifferentialOracle:
                 f"budget_exhausted={report.budget_exhausted}"))
             return
         result.pessimistic_indices = list(report.pessimistic_indices)
+        self._cross_check_strategies(result, probe_cfg, report)
+
+    #: strategies that share the chunked skeleton and must therefore
+    #: land on the primary's exact pessimistic set; frequency explores a
+    #: different search space and may legally pin a *different*
+    #: locally-maximal set, so it is held to validity, not equality
+    EXACT_STRATEGIES = frozenset({"chunked", "provenance-prior", "mcts"})
+
+    def _cross_check_strategies(self, result: OracleResult,
+                                probe_cfg: BenchmarkConfig,
+                                primary: ProbingReport) -> None:
+        """Re-bisect the divergence with every extra registered
+        strategy: each must terminate on a verified non-empty
+        pessimistic set, and the chunked-skeleton strategies must
+        reproduce the primary's set bit for bit."""
+        for strategy in self.strategies[1:]:
+            key = f"strategy-{strategy}"
+            try:
+                rep = ProbingDriver(probe_cfg, compiler=self.compiler,
+                                    strategy=strategy,
+                                    max_tests=self.max_tests,
+                                    verdict_cache=self.verdict_cache).run()
+            except Exception as e:
+                result.findings.append(OracleFinding(
+                    "strategy-mismatch", key, f"driver failed: {e}"))
+                continue
+            result.tests_run += rep.tests_run
+            result.cache_hits += rep.cache_hits
+            result.compiles += rep.compiles
+            if rep.fully_optimistic or not rep.pessimistic_indices \
+                    or rep.budget_exhausted:
+                result.findings.append(OracleFinding(
+                    "strategy-mismatch", key,
+                    f"divergent run but {strategy} reported "
+                    f"fully_optimistic={rep.fully_optimistic} "
+                    f"pessimistic={rep.pessimistic_indices} "
+                    f"budget_exhausted={rep.budget_exhausted}"))
+                continue
+            exact = (strategy in self.EXACT_STRATEGIES
+                     and self.strategies[0] in self.EXACT_STRATEGIES)
+            if exact and rep.pessimistic_indices \
+                    != primary.pessimistic_indices:
+                result.findings.append(OracleFinding(
+                    "strategy-mismatch", key,
+                    f"{strategy} pinned {rep.pessimistic_indices}, "
+                    f"{self.strategies[0]} pinned "
+                    f"{primary.pessimistic_indices}"))
+                continue
+            result.outcomes[key] = (
+                "match" if rep.pessimistic_indices
+                == primary.pessimistic_indices else "valid")
 
 
 def _record_space(prog: CompiledProgram):

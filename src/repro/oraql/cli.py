@@ -25,7 +25,7 @@ from typing import List, Optional
 #: subcommand name -> entry point taking the remaining argv; a bare
 #: first argument that is none of these is refused with exit status 2
 #: and a usage message naming them (never an attribute traceback)
-SUBCOMMANDS = ("importance",)
+SUBCOMMANDS = ("importance", "fit-prior")
 
 
 def _resolve_workload(parser: argparse.ArgumentParser, name: str):
@@ -40,6 +40,18 @@ def _resolve_workload(parser: argparse.ArgumentParser, name: str):
                      f"see 'oraql --list')")
 
 
+def _add_strategy_option(p: argparse.ArgumentParser,
+                         help: str = "probing strategy") -> None:
+    """The ``--strategy`` option, choices derived from the strategy
+    registry — the single place both the ``oraql`` and ``importance``
+    parsers get it from, so registering a strategy surfaces it in every
+    CLI at once.  argparse turns an unknown name into a structured
+    exit-2 error naming the registered strategies."""
+    from .strategies import strategy_names
+    p.add_argument("--strategy", choices=strategy_names(),
+                   default="chunked", help=help)
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="oraql",
@@ -50,8 +62,10 @@ def build_parser() -> argparse.ArgumentParser:
                                       "(see --list)")
     p.add_argument("--list", action="store_true",
                    help="list bundled workload configurations")
-    p.add_argument("--strategy", choices=["chunked", "frequency"],
-                   default="chunked")
+    _add_strategy_option(p)
+    p.add_argument("--strategy-seed", type=int, default=0, metavar="N",
+                   help="seed for randomized strategies (mcts); the "
+                        "same seed reproduces the same probe sequence")
     p.add_argument("--fig", choices=["2", "3", "4", "5", "5m", "6", "7",
                                      "runtimes"],
                    help="regenerate a paper table/figure ('5m' is the "
@@ -135,9 +149,7 @@ def build_importance_parser() -> argparse.ArgumentParser:
     p.add_argument("--config", help="benchmark configuration JSON file")
     p.add_argument("--workload", help="bundled workload row name "
                                       "(see 'oraql --list')")
-    p.add_argument("--strategy", choices=["chunked", "frequency"],
-                   default="chunked",
-                   help="probing strategy for phase 1")
+    _add_strategy_option(p, help="probing strategy for phase 1")
     p.add_argument("--significant-percent", type=float, default=2.0,
                    metavar="PCT",
                    help="significance bar: a flip is important when it "
@@ -230,12 +242,62 @@ def importance_main(argv: Optional[List[str]] = None) -> int:
     return 0
 
 
+def build_fit_prior_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="oraql fit-prior",
+        description="Fit the provenance-prior danger model on "
+                    "fuzz-campaign traces and write the versioned "
+                    "coefficient artifact the 'provenance-prior' "
+                    "strategy loads.")
+    p.add_argument("--seeds", type=int, default=200, metavar="N",
+                   help="how many fuzz seeds to mine (default 200)")
+    p.add_argument("--start", type=int, default=0, metavar="N",
+                   help="first seed (default 0)")
+    p.add_argument("--opt-level", type=int, default=3, choices=[1, 2, 3])
+    p.add_argument("--epochs", type=int, default=300,
+                   help="gradient-descent epochs (default 300)")
+    p.add_argument("--max-tests", type=int, default=2000,
+                   help="probing budget per divergent seed")
+    p.add_argument("--out", metavar="FILE",
+                   help="artifact path (default: the checked-in "
+                        "strategies/prior_model.json)")
+    p.add_argument("--quiet", action="store_true")
+    return p
+
+
+def fit_prior_main(argv: Optional[List[str]] = None) -> int:
+    parser = build_fit_prior_parser()
+    args = parser.parse_args(argv)
+    if args.seeds < 1:
+        parser.error(f"--seeds must be >= 1 (got {args.seeds})")
+    from .strategies.fit import fit_prior
+    model, stats = fit_prior(seeds=range(args.start,
+                                         args.start + args.seeds),
+                             opt_level=args.opt_level,
+                             epochs=args.epochs,
+                             max_tests=args.max_tests,
+                             log=(None if args.quiet
+                                  else lambda s: print(s,
+                                                       file=sys.stderr)))
+    from .strategies.prior import DEFAULT_MODEL_PATH
+    out = args.out or DEFAULT_MODEL_PATH
+    model.save(out)
+    print(f"prior model written to {out}: "
+          f"{stats['samples']} samples ({stats['positives']} dangerous) "
+          f"from {stats['programs']} programs "
+          f"({stats['divergent']} divergent), "
+          f"train AUC {stats['auc']:.3f}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] and not argv[0].startswith("-"):
         if argv[0] == "importance":
             return importance_main(argv[1:])
+        if argv[0] == "fit-prior":
+            return fit_prior_main(argv[1:])
         print(f"error: unknown subcommand {argv[0]!r} "
               f"(known: {', '.join(SUBCOMMANDS)})", file=sys.stderr)
         print("usage: oraql [SUBCOMMAND] [OPTIONS]; "
@@ -313,14 +375,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                 max_tests=args.max_tests, cache_dir=args.cache_dir,
                 journal_dir=args.journal, resume=args.resume,
                 policy=policy, trace=trace,
-                incremental=args.incremental).run()
+                incremental=args.incremental,
+                strategy_seed=args.strategy_seed).run()
             report = reports[0]
         else:
             driver = ProbingDriver(cfg, compiler=compiler,
                                    strategy=args.strategy,
                                    max_tests=args.max_tests,
                                    policy=policy, trace=trace,
-                                   incremental=args.incremental)
+                                   incremental=args.incremental,
+                                   strategy_seed=args.strategy_seed)
             report = driver.run()
     except ProbingError as e:
         print(f"error: {e}", file=sys.stderr)

@@ -8,7 +8,10 @@ Workflow (Fig. 1):
 2. attempt the *empty sequence* — every query answered no-alias; if the
    tests still pass, report full optimism and stop;
 3. otherwise bisect to pin down the queries that must be answered
-   pessimistically, with either strategy:
+   pessimistically.  The search policy is a pluggable
+   :class:`~repro.oraql.strategies.Strategy` (propose/observe/done
+   lifecycle, ``repro.oraql.strategies``); the registry ships the
+   paper's two —
 
    * **chunked** — exploit that the query stream up to index k depends
      only on the answers to queries < k: repeatedly re-try "prefix +
@@ -20,7 +23,10 @@ Workflow (Fig. 1):
    * **frequency** — split the index space by residue classes
      (even/odd, then mod 4, ...), descriptors independent of the
      sequence length; clustered dangerous queries force descent to
-     near-singleton classes, which is why chunked usually wins.
+     near-singleton classes, which is why chunked usually wins —
+
+   plus the strategy lab's **provenance-prior** (learned danger
+   ordering) and **mcts** (seeded tree search over decision subsets);
 
 4. every candidate executable is hashed; a sequence that produces a
    bit-identical executable reuses the recorded test verdict instead of
@@ -29,10 +35,8 @@ Workflow (Fig. 1):
 
 from __future__ import annotations
 
-import time
-from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..faults.injector import FaultInjector
 from .cache import VerdictCache, config_fingerprint
@@ -44,6 +48,7 @@ from .incremental import BaselineCache
 from .journal import SessionJournal
 from .pass_ import DumpFlags, OraqlAAPass, QueryRecord
 from .sequence import DecisionSequence, sequence_from_pessimistic_set
+from .strategies import StrategyContext, create_strategy, strategy_names
 from .verify import RunResult, VerificationScript, triage_run
 
 
@@ -60,6 +65,8 @@ class ProbingReport:
     fully_optimistic: bool
     final_sequence: DecisionSequence
     pessimistic_indices: List[int]
+    #: the search strategy that produced this report
+    strategy: str = "chunked"
     # Fig. 4 columns
     opt_unique: int = 0
     opt_cached: int = 0
@@ -202,14 +209,20 @@ class ProbingDriver:
                  injector: Optional[FaultInjector] = None,
                  trace=None,
                  incremental: str = "off",
-                 baselines: Optional[BaselineCache] = None):
-        if strategy not in ("chunked", "frequency"):
-            raise ValueError(f"unknown strategy {strategy!r}")
+                 baselines: Optional[BaselineCache] = None,
+                 strategy_seed: int = 0):
+        if strategy not in strategy_names():
+            raise ValueError(
+                f"unknown strategy {strategy!r} (known: "
+                f"{', '.join(strategy_names())})")
         if incremental not in ("on", "off"):
             raise ValueError(f"unknown incremental mode {incremental!r}")
         self.config = config
         self.compiler = compiler or Compiler()
         self.strategy = strategy
+        #: seed for randomized strategies (mcts); a pure function of the
+        #: seed + observed verdicts, so resume stays bit-identical
+        self.strategy_seed = strategy_seed
         self.incremental = incremental == "on"
         #: recent probe programs, candidate baselines for delta-keyed
         #: incremental recompilation (``--incremental on``).  An
@@ -237,8 +250,11 @@ class ProbingDriver:
         #: budget-exhausted run can still report partial progress
         self._best_pessimistic: Set[int] = set()
         self._report = ProbingReport(config.name, False, DecisionSequence(),
-                                     [])
+                                     [], strategy=strategy)
         self._report.incremental_enabled = self.incremental
+        #: the most recent in-process probe compile; provenance source
+        #: for learned strategies (StrategyContext.records)
+        self._last_program: Optional[CompiledProgram] = None
         if injector is not None:
             # durability faults need the file paths to tear
             if verdict_cache is not None:
@@ -304,6 +320,7 @@ class ProbingDriver:
     def _test(self, sequence: DecisionSequence) -> TestOutcome:
         self.executor.begin_test()
         prog = self._compile(sequence)
+        self._last_program = prog
         n = prog.oraql.unique_queries
         return self._verdict_for(
             prog.exe_hash, n,
@@ -416,11 +433,8 @@ class ProbingDriver:
             if first.ok:
                 report.fully_optimistic = True
             else:
-                # 3. bisection
-                if self.strategy == "chunked":
-                    pess = self._probe_chunked(first.unique_queries)
-                else:
-                    pess = self._probe_frequency(first.unique_queries)
+                # 3. bisection, by the configured strategy
+                pess = self._probe(first)
         except TestBudgetExhausted:
             # budget-graceful degradation: keep everything learned so
             # far instead of losing the whole run
@@ -460,126 +474,28 @@ class ProbingDriver:
             report.remarks = self.trace.remark_lines("final")
         return report
 
-    # -- chunked strategy ------------------------------------------------
-    def _probe_chunked(self, first_n: int) -> Set[int]:
-        """Left-to-right prefix fixing with binary search per dangerous
-        query.  Exploits prefix stability: the k-th unique query depends
-        only on the answers to queries 0..k-1."""
-        decided: List[int] = []  # final bits for the prefix
-        while True:
-            self._best_pessimistic = {i for i, b in enumerate(decided)
-                                      if b == 0}
-            # everything after the prefix optimistic
-            t = self._test(DecisionSequence(decided))
-            if t.ok:
-                return {i for i, b in enumerate(decided) if b == 0}
-            n = t.unique_queries
-            span = n - len(decided)
-            if span <= 0:
-                # the prefix itself fails: the most recent optimistic
-                # decision is the culprit of an interaction — flip the
-                # last optimistic bit (rare; keeps termination)
-                for i in range(len(decided) - 1, -1, -1):
-                    if decided[i] == 1:
-                        decided[i] = 0
-                        break
-                else:
-                    raise ProbingError(
-                        "all-pessimistic sequence fails tests — the "
-                        "benchmark does not verify even with every query "
-                        "answered may-alias",
-                        outcome=t, explain=self._explain(t))
-                continue
-
-            # g(k): prefix + k optimistic + pessimistic tail
-            def g_bits(k: int) -> List[int]:
-                return decided + [1] * k + [0] * (span - k + self.TAIL_PAD)
-
-            def g(k: int) -> bool:
-                return self._test(DecisionSequence(g_bits(k))).ok
-
-            if g(span):
-                # the failure needed the optimistic tail beyond n; fix
-                # this whole span optimistic and continue outward
-                decided.extend([1] * span)
-                continue
-            # binary search the smallest k with g(k) == False;
-            # g(0) == True because the all-pessimistic tail is the baseline
-            lo, hi = 0, span  # g(lo)=True (invariant), g(hi)=False
-            while hi - lo > 1:
-                mid = (lo + hi) // 2
-                # both continuations of g(mid) are known in advance:
-                # ok ⇒ next probe is the midpoint of [mid, hi), not ok ⇒
-                # the midpoint of [lo, mid) — offer them for speculation
-                spec = [DecisionSequence(g_bits((nlo + nhi) // 2))
-                        for nlo, nhi in ((mid, hi), (lo, mid))
-                        if nhi - nlo > 1]
-                if spec:
-                    self._speculate(spec)
-                if g(mid):
-                    lo = mid
-                else:
-                    hi = mid
-                    # the sibling [mid, old hi) need not be tested: the
-                    # parent fails and the left part alone already fails
-                    self._report.tests_deduced += 1
-            # the query at index len(decided)+hi-1 is dangerous in this
-            # context: fix prefix as lo optimistic + that one pessimistic
-            decided.extend([1] * lo)
-            decided.append(0)
-
-    # -- frequency-space strategy ----------------------------------------
-    def _probe_frequency(self, first_n: int) -> Set[int]:
-        """Residue-class bisection (paper's first strategy).
-
-        A class is (modulus, residue).  Greedily grow the accepted
-        optimistic set: test accepted ∪ candidate-class; on failure split
-        the class by doubling the modulus; a failing singleton is a
-        dangerous query, answered pessimistically."""
-        # length estimate grows as pessimistic answers change the stream
-        n_est = max(first_n, 1)
-
-        def indices_of(mod: int, res: int, n: int) -> List[int]:
-            return list(range(res, n, mod))
-
-        accepted: Set[int] = set()      # optimistic indices
-        dangerous: Set[int] = set()
-
-        def test_with(extra: Set[int]) -> TestOutcome:
-            opt = accepted | extra
-            length = max(n_est, max(opt) + 1 if opt else 0) + self.TAIL_PAD
-            bits = [1 if i in opt else 0 for i in range(length)]
-            return self._test(DecisionSequence(bits))
-
-        work: Deque[Tuple[int, int]] = deque([(1, 0)])
-        while work:
-            mod, res = work.popleft()
-            self._best_pessimistic = set(dangerous)
-            idxs = [i for i in indices_of(mod, res, n_est)
-                    if i not in accepted and i not in dangerous]
-            if not idxs:
-                continue
-            t = test_with(set(idxs))
-            n_est = max(n_est, t.unique_queries)
-            if t.ok:
-                accepted |= set(idxs)
-                continue
-            if len(idxs) == 1:
-                dangerous.add(idxs[0])
-                continue
-            work.append((mod * 2, res))
-            work.append((mod * 2, res + mod))
-
-        # closing sweep: some indices past the original estimate may
-        # remain; try them optimistically as one block
-        self._best_pessimistic = set(dangerous)
-        t = self._test(sequence_from_pessimistic_set(
-            dangerous, max(n_est, max(dangerous) + 1 if dangerous else 0)))
-        if not t.ok:
-            # fall back to chunked refinement from what we learned
-            try:
-                return self._probe_chunked(t.unique_queries) | dangerous
-            except TestBudgetExhausted:
-                self._best_pessimistic |= dangerous
-                raise
-        return dangerous
+    # -- the strategy lifecycle loop --------------------------------------
+    def _probe(self, first: TestOutcome) -> Set[int]:
+        """Drive the configured strategy through its propose/observe
+        lifecycle.  The strategy owns the search policy; the driver
+        owns compilation, verdict caching, journaling, and budgets."""
+        strat = create_strategy(self.strategy, seed=self.strategy_seed)
+        records = (list(self._last_program.oraql.records)
+                   if self._last_program is not None else [])
+        ctx = StrategyContext(first=first, records=records,
+                              tail_pad=self.TAIL_PAD,
+                              explain=self._explain)
+        base_deduced = self._report.tests_deduced
+        strat.start(ctx)
+        while not strat.done():
+            probe = strat.propose()
+            # best_known() before the probe: a budget exhausted inside
+            # _test still reports every index learned so far
+            self._best_pessimistic = set(strat.best_known())
+            if probe.speculations:
+                self._speculate(probe.speculations)
+            outcome = self._test(probe.sequence)
+            strat.observe(probe, outcome)
+            self._report.tests_deduced = base_deduced + strat.deduced
+        self._best_pessimistic = set(strat.best_known())
+        return strat.result()

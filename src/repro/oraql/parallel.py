@@ -53,6 +53,7 @@ from .errors import ProbingError
 from .executor import ExecutorPolicy
 from .journal import SessionJournal
 from .sequence import DecisionSequence
+from .strategies import strategy_supports_speculation
 from .verify import TRIAGE_WORKER_LOST, VerificationScript
 
 #: how many times a configuration is requeued after its worker died
@@ -93,7 +94,8 @@ def _probe_config(config_json: str, strategy: str, max_tests: int,
                   fault_plan: Optional[List[dict]] = None,
                   attempt: int = 0,
                   time_passes: bool = False,
-                  incremental: str = "off") -> ProbingReport:
+                  incremental: str = "off",
+                  strategy_seed: int = 0) -> ProbingReport:
     """Probe one whole configuration in a worker process."""
     from ..trace import QueryTrace
     cfg = BenchmarkConfig.from_json(config_json)
@@ -106,7 +108,8 @@ def _probe_config(config_json: str, strategy: str, max_tests: int,
     report = ProbingDriver(cfg, strategy=strategy, max_tests=max_tests,
                            verdict_cache=cache, journal=journal,
                            injector=injector, trace=trace,
-                           incremental=incremental).run()
+                           incremental=incremental,
+                           strategy_seed=strategy_seed).run()
     # live IR/program objects do not survive (or justify) pickling back
     return report.detach_for_transport()
 
@@ -264,7 +267,8 @@ class ParallelProbingDriver:
                  policy: Optional[ExecutorPolicy] = None,
                  fault_plan: Optional[List[dict]] = None,
                  trace=None,
-                 incremental: str = "off"):
+                 incremental: str = "off",
+                 strategy_seed: int = 0):
         if isinstance(configs, BenchmarkConfig):
             configs = [configs]
         self.configs = list(configs)
@@ -289,6 +293,8 @@ class ParallelProbingDriver:
         #: incremental recompilation mode, forwarded to every driver
         #: (in-process and in workers); bit-identical results either way
         self.incremental = incremental
+        #: seed for randomized strategies, forwarded to every driver
+        self.strategy_seed = strategy_seed
 
     def _cache(self) -> Optional[VerdictCache]:
         return VerdictCache(self.cache_dir) if self.cache_dir else None
@@ -307,14 +313,15 @@ class ParallelProbingDriver:
 
     # -- one config: speculative bisection ---------------------------------
     def _run_single(self, config: BenchmarkConfig) -> ProbingReport:
-        if self.jobs <= 1 or self.strategy != "chunked" \
-                or not self.speculate:
+        if self.jobs <= 1 or not self.speculate \
+                or not strategy_supports_speculation(self.strategy):
             return ProbingDriver(
                 config, strategy=self.strategy, max_tests=self.max_tests,
                 verdict_cache=self._cache(), policy=self.policy,
                 journal=self._journal(config),
                 injector=FaultInjector.from_json_plan(self.fault_plan),
-                trace=self.trace, incremental=self.incremental).run()
+                trace=self.trace, incremental=self.incremental,
+                strategy_seed=self.strategy_seed).run()
         factory = lambda: ProcessPoolExecutor(max_workers=self.jobs)  # noqa: E731
         with ProcessPoolExecutor(max_workers=self.jobs) as executor:
             driver = SpeculativeProbingDriver(
@@ -323,7 +330,8 @@ class ParallelProbingDriver:
                 max_tests=self.max_tests, verdict_cache=self._cache(),
                 policy=self.policy, journal=self._journal(config),
                 injector=FaultInjector.from_json_plan(self.fault_plan),
-                trace=self.trace, incremental=self.incremental)
+                trace=self.trace, incremental=self.incremental,
+                strategy_seed=self.strategy_seed)
             return driver.run()
 
     # -- many configs: one worker per configuration -------------------------
@@ -335,7 +343,8 @@ class ParallelProbingDriver:
                 cfg, strategy=self.strategy, max_tests=self.max_tests,
                 verdict_cache=cache, policy=self.policy,
                 journal=self._journal(cfg), trace=self.trace,
-                incremental=self.incremental).run()
+                incremental=self.incremental,
+                strategy_seed=self.strategy_seed).run()
                 for cfg in self.configs]
 
         results: List[Optional[ProbingReport]] = [None] * len(self.configs)
@@ -351,7 +360,8 @@ class ParallelProbingDriver:
                         self.journal_dir, self.resume or attempts[i] > 0,
                         self.fault_plan, attempts[i],
                         time_passes=self.trace is not None,
-                        incremental=self.incremental): i
+                        incremental=self.incremental,
+                        strategy_seed=self.strategy_seed): i
                     for i in remaining}
                 pending = set(futures)
                 while pending:

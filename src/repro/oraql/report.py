@@ -56,6 +56,7 @@ def render_report(report: ProbingReport) -> str:
     if r.budget_exhausted:
         out.append("BUDGET EXHAUSTED: partial result — the pessimistic set "
                    "below is the best known, not verified locally-maximal")
+    out.append(f"probing strategy   : {r.strategy}")
     out.append(f"probing effort     : {r.compiles} compiles, "
                f"{r.tests_run} tests run, {r.tests_cached} served from the "
                f"executable-hash cache, {r.tests_deduced} deduced")

@@ -1,0 +1,126 @@
+"""Feature extraction for the provenance-prior model.
+
+A query's danger (will it end up pinned pessimistic?) correlates with
+*where it came from*: the issuing pass, the shape of the pointer pair
+(two GEPs off the same base behave very differently from an alloca vs.
+a global), and the content fingerprint of the pair.  All three are
+available in the :class:`~repro.oraql.pass_.QueryRecord` provenance the
+trace layer already captures, so the same featurizer runs offline on
+fuzz-campaign traces (fitting) and online on a live session's
+all-optimistic compile (scoring).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ...trace.events import pointer_fingerprint
+
+#: issuing passes seen across the pipeline (QueryRecord.issuing_pass
+#: carries display names); unseen passes land in the out-of-vocabulary
+#: slot
+PASS_VOCAB: List[str] = [
+    "Global Value Numbering", "Loop Invariant Code Motion",
+    "Dead Store Elimination", "Loop Vectorizer", "SLP Vectorizer",
+    "MemCpy Optimization", "Combine redundant instructions",
+    "Early CSE", "Loop Load Elimination", "Delete dead loops",
+    "Machine code sinking", "Dead Code Elimination",
+    "Simplify the CFG", "Promote Memory to Register",
+    "Function Integration/Inlining", "Memory SSA",
+]
+
+#: unordered pointer-kind pair categories (the "hazard shape")
+SHAPE_VOCAB: List[str] = [
+    "gep-gep-samebase", "gep-gep", "gep-argument", "gep-global",
+    "gep-alloca", "gep-load", "gep-phi", "gep-other",
+    "argument-argument", "argument-global", "argument-alloca",
+    "argument-other", "global-global", "alloca-alloca", "load-load",
+    "phi-phi", "other-other",
+]
+
+#: content-fingerprint hash buckets (a weak per-pair identity feature)
+FP_BUCKETS = 16
+
+
+def _ptr_kind(ptr) -> str:
+    opcode = getattr(ptr, "opcode", None)
+    if opcode is not None:
+        if opcode == "getelementptr":
+            return "gep"
+        if opcode in ("load", "phi", "alloca", "cast", "call", "select"):
+            return opcode
+        return "inst"
+    return type(ptr).__name__.lower()
+
+
+def _base_of(ptr):
+    """The base pointer a GEP indexes off, else the value itself."""
+    while getattr(ptr, "opcode", None) in ("getelementptr", "cast") \
+            and getattr(ptr, "operands", None):
+        ptr = ptr.operands[0]
+    return ptr
+
+
+_KNOWN_KINDS = {"gep", "argument", "globalvariable", "alloca", "load",
+                "phi"}
+_KIND_ALIAS = {"globalvariable": "global"}
+
+
+def hazard_shape(rec) -> str:
+    """The unordered pointer-kind pair of a record, e.g. ``gep-gep`` or
+    ``gep-argument``; same-base GEP pairs get their own category."""
+    ka, kb = _ptr_kind(rec.a.ptr), _ptr_kind(rec.b.ptr)
+    if ka == kb == "gep" and _base_of(rec.a.ptr) is _base_of(rec.b.ptr):
+        return "gep-gep-samebase"
+    names = []
+    for k in (ka, kb):
+        if k not in _KNOWN_KINDS:
+            k = "other"
+        names.append(_KIND_ALIAS.get(k, k))
+    a, b = sorted(names)
+    shape = f"{a}-{b}"
+    if shape in SHAPE_VOCAB:
+        return shape
+    # collapse unseen mixed pairs onto the dominant side
+    for k in (a, b):
+        if f"{k}-other" in SHAPE_VOCAB:
+            return f"{k}-other"
+    return "other-other"
+
+
+def fingerprint_bucket(rec, buckets: int = FP_BUCKETS) -> int:
+    """A stable hash bucket of the pair's content fingerprint.  Bucket
+    0 doubles as the unknown slot: records are featurized after the
+    full pipeline ran, and a later pass may have erased the recorded
+    instruction (dropping its operands), making it unprintable."""
+    try:
+        return int(pointer_fingerprint(rec.a, rec.b), 16) % buckets
+    except (AttributeError, IndexError, TypeError):
+        return 0
+
+
+#: total feature-vector width: bias + pass one-hot (+oov) + shape
+#: one-hot + fingerprint buckets
+def vector_width(buckets: int = FP_BUCKETS) -> int:
+    return 1 + len(PASS_VOCAB) + 1 + len(SHAPE_VOCAB) + buckets
+
+
+def feature_indices(rec, buckets: int = FP_BUCKETS) -> List[int]:
+    """The active (one-hot) indices of a record's feature vector."""
+    active = [0]  # bias
+    base = 1
+    pass_name = rec.issuing_pass
+    if pass_name in PASS_VOCAB:
+        active.append(base + PASS_VOCAB.index(pass_name))
+    else:
+        active.append(base + len(PASS_VOCAB))  # oov slot
+    base += len(PASS_VOCAB) + 1
+    active.append(base + SHAPE_VOCAB.index(hazard_shape(rec)))
+    base += len(SHAPE_VOCAB)
+    active.append(base + fingerprint_bucket(rec, buckets))
+    return active
+
+
+def featurize(records: Sequence[object],
+              buckets: int = FP_BUCKETS) -> List[List[int]]:
+    return [feature_indices(r, buckets) for r in records]

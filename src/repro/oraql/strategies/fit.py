@@ -1,0 +1,99 @@
+"""Offline fitting of the provenance-prior model.
+
+Mines fuzz-campaign programs for training data: every seeded program is
+compiled all-optimistically to collect its query provenance; programs
+whose optimistic run diverges from the O0 reference are probed with the
+chunked driver to label exactly which queries had to be pinned
+pessimistic (the positives).  The resulting (features, dangerous)
+samples feed :meth:`~repro.oraql.strategies.prior.PriorModel.fit`.
+
+Entry point: ``python -m repro.oraql fit-prior`` — regenerates the
+checked-in ``prior_model.json`` artifact.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from .features import feature_indices
+from .prior import PriorModel
+
+#: every other mined seed runs the generator's hazard mode — danger
+#: labels need positives, and hazard programs supply nearly all of them
+HAZARD_EVERY = 2
+
+
+def _mine_seed(seed: int, opt_level: int,
+               max_tests: int) -> Tuple[List[Tuple[List[int], bool]], bool]:
+    """Samples for one fuzz seed: (features, dangerous) per unique
+    query, plus whether the program diverged at all."""
+    from ...fuzz.generator import GeneratorOptions, generate_program
+    from ...fuzz.oracle import base_config
+    from ..compiler import Compiler
+    from ..driver import ProbingDriver
+    from ..errors import ProbingError
+
+    hazard = seed % HAZARD_EVERY == 0
+    program = generate_program(seed, GeneratorOptions(hazard=hazard))
+    cfg = base_config(seed, program.source, opt_level)
+    compiler = Compiler()
+    ref = compiler.compile(
+        dataclasses.replace(cfg, opt_level=0)).run()
+    if not ref.ok:
+        return [], False
+    cfg = dataclasses.replace(cfg, reference_outputs=[ref.stdout])
+
+    # all-optimistic compile: the provenance the live strategy sees
+    opt = compiler.compile(cfg, oraql_enabled=True)
+    records = [r for r in opt.oraql.records
+               if r.index >= 0 and not r.cached]
+    if not records:
+        return [], False
+    run = opt.run()
+    diverged = not (run.ok and run.stdout == ref.stdout)
+    dangerous: set = set()
+    if diverged:
+        try:
+            report = ProbingDriver(cfg, strategy="chunked",
+                                   max_tests=max_tests).run()
+            dangerous = set(report.pessimistic_indices)
+        except ProbingError:
+            return [], True
+    samples = [(feature_indices(rec), rec.index in dangerous)
+               for rec in records]
+    return samples, diverged
+
+
+def fit_prior(seeds: Iterable[int], opt_level: int = 3,
+              epochs: int = 300, max_tests: int = 2000,
+              log: Optional[Callable[[str], None]] = None
+              ) -> Tuple[PriorModel, Dict[str, object]]:
+    """Mine the seeds, fit the logistic model, and report stats."""
+    samples: List[Tuple[List[int], bool]] = []
+    programs = divergent = 0
+    seeds = list(seeds)
+    for i, seed in enumerate(seeds):
+        mined, did_diverge = _mine_seed(seed, opt_level, max_tests)
+        if mined:
+            programs += 1
+            samples.extend(mined)
+        if did_diverge:
+            divergent += 1
+        if log is not None and (i + 1) % 25 == 0:
+            print_args = (f"fit-prior: {i + 1}/{len(seeds)} seeds, "
+                          f"{len(samples)} samples, "
+                          f"{sum(1 for _, y in samples if y)} dangerous")
+            log(print_args)
+    model = PriorModel.fit(samples, epochs=epochs)
+    positives = sum(1 for _, y in samples if y)
+    model.meta.update({
+        "seeds": [int(seeds[0]), int(seeds[-1])] if seeds else [],
+        "opt_level": opt_level,
+        "programs": programs,
+        "divergent": divergent,
+    })
+    stats = {"samples": len(samples), "positives": positives,
+             "programs": programs, "divergent": divergent,
+             "auc": model.auc(samples)}
+    return model, stats

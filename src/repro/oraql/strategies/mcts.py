@@ -1,0 +1,246 @@
+"""Monte-Carlo tree search over decision subsets.
+
+Each chunked-skeleton round must isolate the smallest failing ``k`` in
+an interval — a sequential decision problem: which split point to probe
+next, given that every probe costs a compile and the payoff is pinning
+the dangerous query.  This strategy runs a seeded MCTS over that
+problem: actions are split-point selectors from :data:`ACTION_LIBRARY`,
+simulations sample a hypothetical boundary position, rollouts play
+random actions to termination, and :func:`compute_reward` scores each
+playout as pinned-query isolation minus compile cost.  The chosen
+action is then executed as the real probe and the tree re-rooted on the
+observed outcome.
+
+Determinism: all randomness flows from one ``random.Random(seed)``
+consumed in a fixed order, so two runs with the same seed propose
+identical probe sequences (the CI determinism check).  Convergence:
+every action probes strictly inside the open interval, so the interval
+shrinks each step and the same boundary is found as chunked's binary
+search — the final pessimistic set is bit-identical by construction.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ProbingError
+from ..sequence import DecisionSequence
+from .base import GeneratorStrategy, Probe, SearchGen, StrategyContext
+
+#: split-point selectors over an open interval (lo, hi); the searchable
+#: action space (querytorque's TRANSFORMATION_LIBRARY idiom)
+ACTION_LIBRARY: Tuple[str, ...] = (
+    "midpoint", "quarter", "three-quarter", "low-edge", "high-edge")
+
+
+def split_point(action: str, lo: int, hi: int) -> int:
+    """The probe point an action denotes, clamped to ``lo < k < hi``."""
+    k = {
+        "midpoint": (lo + hi) // 2,
+        "quarter": lo + (hi - lo) // 4,
+        "three-quarter": lo + (3 * (hi - lo)) // 4,
+        "low-edge": lo + 1,
+        "high-edge": hi - 1,
+    }[action]
+    return max(lo + 1, min(hi - 1, k))
+
+
+@dataclass
+class RewardConfig:
+    """Scoring knobs: isolating the pinned query is the prize, every
+    compile the search spends comes off it."""
+
+    isolation_reward: float = 10.0
+    compile_cost: float = 1.0
+
+
+def compute_reward(isolated: bool, compiles: int,
+                   config: RewardConfig) -> float:
+    return (config.isolation_reward if isolated else 0.0) \
+        - config.compile_cost * compiles
+
+
+class MCTSNode:
+    """One search node: an interval state plus visit statistics."""
+
+    __slots__ = ("lo", "hi", "visits", "value", "children")
+
+    def __init__(self, lo: int, hi: int):
+        self.lo = lo
+        self.hi = hi
+        self.visits = 0
+        self.value = 0.0
+        #: action -> (probe point, {outcome-ok: child})
+        self.children: Dict[str, Tuple[int, Dict[bool, "MCTSNode"]]] = {}
+
+    def terminal(self) -> bool:
+        return self.hi - self.lo <= 1
+
+    def ucb_action(self, c: float, rng: random.Random) -> str:
+        """UCB1 over the distinct probe points this interval offers."""
+        untried = [a for a in ACTION_LIBRARY if a not in self.children]
+        if untried:
+            return untried[0]
+        best, best_score = None, -math.inf
+        log_n = math.log(max(1, self.visits))
+        for action in ACTION_LIBRARY:
+            _, branches = self.children[action]
+            n = sum(ch.visits for ch in branches.values())
+            if n == 0:
+                return action
+            q = sum(ch.value for ch in branches.values()) / n
+            score = q + c * math.sqrt(log_n / n)
+            if score > best_score:
+                best, best_score = action, score
+        return best
+
+
+class MCTSTree:
+    """Seeded MCTS over interval-narrowing (querytorque's idiom: a
+    tree of states, UCB selection, random rollouts, mean backup)."""
+
+    def __init__(self, lo: int, hi: int, rng: random.Random,
+                 reward: Optional[RewardConfig] = None,
+                 exploration: float = 1.4):
+        self.root = MCTSNode(lo, hi)
+        self.rng = rng
+        self.reward = reward or RewardConfig()
+        self.exploration = exploration
+
+    # -- simulation -------------------------------------------------------
+    def _sample_boundary(self, lo: int, hi: int) -> int:
+        """A hypothetical smallest failing k, uniform over (lo, hi]."""
+        return self.rng.randint(lo + 1, hi)
+
+    def _rollout(self, lo: int, hi: int, boundary: int,
+                 compiles: int) -> float:
+        while hi - lo > 1:
+            action = self.rng.choice(ACTION_LIBRARY)
+            k = split_point(action, lo, hi)
+            compiles += 1
+            if k < boundary:   # g(k) ok
+                lo = k
+            else:
+                hi = k
+        return compute_reward(True, compiles, self.reward)
+
+    def simulate(self) -> None:
+        """One playout: select down the tree against a sampled
+        boundary, expand, rollout, back up the reward."""
+        node = self.root
+        boundary = self._sample_boundary(node.lo, node.hi)
+        path: List[MCTSNode] = [node]
+        compiles = 0
+        while not node.terminal():
+            action = node.ucb_action(self.exploration, self.rng)
+            if action not in node.children:
+                node.children[action] = (split_point(action, node.lo,
+                                                     node.hi), {})
+            k, branches = node.children[action]
+            ok = k < boundary
+            compiles += 1
+            child = branches.get(ok)
+            if child is None:
+                child = MCTSNode(k, node.hi) if ok \
+                    else MCTSNode(node.lo, k)
+                branches[ok] = child
+                path.append(child)
+                reward = self._rollout(child.lo, child.hi, boundary,
+                                       compiles)
+                break
+            node = child
+            path.append(node)
+        else:
+            reward = compute_reward(True, compiles, self.reward)
+        for visited in path:
+            visited.visits += 1
+            visited.value += reward
+
+    def search(self, simulations: int) -> str:
+        for _ in range(simulations):
+            self.simulate()
+        # the robust child: most-visited action
+        def visits(action: str) -> int:
+            if action not in self.root.children:
+                return -1
+            _, branches = self.root.children[action]
+            return sum(ch.visits for ch in branches.values())
+        return max(ACTION_LIBRARY, key=visits)
+
+    def advance(self, action: str, ok: bool) -> None:
+        """Re-root on the observed outcome of the executed action."""
+        k, branches = self.root.children[action]
+        child = branches.get(ok)
+        if child is None:
+            child = MCTSNode(k, self.root.hi) if ok \
+                else MCTSNode(self.root.lo, k)
+        self.root = child
+
+
+class MCTSStrategy(GeneratorStrategy):
+    """Chunked skeleton with MCTS-chosen narrowing probes."""
+
+    name = "mcts"
+    supports_speculation = False
+
+    #: playouts per real probe (simulations are in-memory and free;
+    #: only the chosen action costs a compile)
+    SIMULATIONS = 64
+
+    def __init__(self, seed: int = 0):
+        super().__init__(seed)
+        self.rng = random.Random(seed)
+
+    def _search(self, ctx: StrategyContext) -> SearchGen:
+        state = self.state
+        tail_pad = ctx.tail_pad
+        decided: List[int] = []
+        while True:
+            state.best = {i for i, b in enumerate(decided) if b == 0}
+            state.pinned = set(state.best)
+            t = yield Probe(DecisionSequence(decided))
+            if t.ok:
+                state.candidates = set()
+                return {i for i, b in enumerate(decided) if b == 0}
+            n = t.unique_queries
+            state.candidates = set(range(len(decided), n))
+            span = n - len(decided)
+            if span <= 0:
+                for i in range(len(decided) - 1, -1, -1):
+                    if decided[i] == 1:
+                        decided[i] = 0
+                        break
+                else:
+                    raise ProbingError(
+                        "all-pessimistic sequence fails tests — the "
+                        "benchmark does not verify even with every query "
+                        "answered may-alias",
+                        outcome=t,
+                        explain=ctx.explain(t) if ctx.explain else None)
+                continue
+
+            def g_bits(k: int) -> List[int]:
+                return decided + [1] * k + [0] * (span - k + tail_pad)
+
+            t = yield Probe(DecisionSequence(g_bits(span)))
+            if t.ok:
+                decided.extend([1] * span)
+                continue
+            # MCTS-narrow the smallest k with g(k)=False
+            lo, hi = 0, span  # g(lo)=True, g(hi)=False
+            tree = MCTSTree(lo, hi, self.rng)
+            while hi - lo > 1:
+                action = tree.search(self.SIMULATIONS)
+                mid = split_point(action, lo, hi)
+                t = yield Probe(DecisionSequence(g_bits(mid)))
+                if t.ok:
+                    lo = mid
+                else:
+                    hi = mid
+                    state.deduced += 1
+                tree.advance(action, t.ok)
+            decided.extend([1] * lo)
+            decided.append(0)

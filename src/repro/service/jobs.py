@@ -127,6 +127,11 @@ class JobSpec:
     def __post_init__(self) -> None:
         if self.kind not in JOB_KINDS:
             raise ValueError(f"unknown job kind {self.kind!r}")
+        from ..oraql.strategies import strategy_names
+        if self.strategy not in strategy_names():
+            raise ValueError(
+                f"unknown strategy {self.strategy!r} "
+                f"(known: {', '.join(strategy_names())})")
 
     def to_dict(self) -> dict:
         return asdict(self)

@@ -56,6 +56,74 @@ def differential(source, entry="main", levels=(0, 1, 2, 3), **kw):
     return outputs[0]
 
 
+def probe_logging_driver(config, strategy="chunked", **kwargs):
+    """A :class:`~repro.oraql.driver.ProbingDriver` that records every
+    probe it tests (the bit string handed to ``_test``), in order.
+
+    The probe log is the strategy-parity currency: the goldens under
+    ``tests/goldens/strategy_probes_*.txt`` were captured from the
+    pre-refactor in-driver strategies, and the ported strategy objects
+    must reproduce them probe for probe."""
+    from repro.oraql.driver import ProbingDriver
+
+    class _LoggingDriver(ProbingDriver):
+        def __init__(self, *a, **kw):
+            super().__init__(*a, **kw)
+            self.probe_log = []
+
+        def _test(self, sequence):
+            self.probe_log.append(
+                "".join(str(b) for b in sequence.bits) or "(empty)")
+            return super()._test(sequence)
+
+    return _LoggingDriver(config, strategy=strategy, **kwargs)
+
+
+def render_probe_log(title, driver, report):
+    """One golden section: every probe in order plus the totals."""
+    lines = [f"== {title} =="]
+    lines += [f"probe {p}" for p in driver.probe_log]
+    pess = ", ".join(str(i) for i in report.pessimistic_indices)
+    lines.append(f"pessimistic: {pess or '(none)'}")
+    lines.append(f"tests: run={report.tests_run} "
+                 f"cached={report.tests_cached} "
+                 f"deduced={report.tests_deduced} "
+                 f"compiles={report.compiles}")
+    return "\n".join(lines)
+
+
+def fuzz_probe_config(seed):
+    """A probing config for a seeded hazard-mode fuzz program, with the
+    O0 interpretation as the reference output (the oracle's setup)."""
+    import dataclasses
+
+    from repro.fuzz.generator import GeneratorOptions, generate_program
+    from repro.fuzz.oracle import base_config
+    from repro.oraql.compiler import Compiler
+
+    program = generate_program(seed, GeneratorOptions(hazard=True))
+    cfg = base_config(seed, program.source, 3)
+    ref = Compiler().compile(
+        dataclasses.replace(cfg, opt_level=0)).run()
+    assert ref.ok, f"fuzz seed {seed} reference run failed"
+    return dataclasses.replace(cfg, reference_outputs=[ref.stdout])
+
+
+#: the (title, config factory) parity cases shared by the golden
+#: capture and the parity tests — workloads with non-trivial bisection
+#: plus a hazard-mode fuzz program
+def parity_cases():
+    import repro.workloads  # noqa: F401 — registers all variants
+    from repro.workloads.base import get_config
+
+    return [
+        ("LULESH-seq", lambda: get_config("LULESH-seq")),
+        ("MiniFE-openmp", lambda: get_config("MiniFE-openmp")),
+        ("TestSNAP-openmp", lambda: get_config("TestSNAP-openmp")),
+        ("fuzz-42", lambda: fuzz_probe_config(42)),
+    ]
+
+
 @pytest.fixture
 def module():
     return Module("test")

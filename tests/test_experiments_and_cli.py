@@ -90,10 +90,9 @@ class TestFig2DriverParity:
                                f"exe:{probes[-1]}")
 
         driver._test = fake_test
-        if strategy == "chunked":
-            found = driver._probe_chunked(oracle.n)
-        else:
-            found = driver._probe_frequency(oracle.n)
+        # the failed all-optimistic attempt the driver would have seen
+        first = TestOutcome(False, oracle.n, "exe:first")
+        found = driver._probe(first)
         return found, probes
 
     @pytest.mark.parametrize("dangerous", [
@@ -121,6 +120,23 @@ class TestFig2DriverParity:
         # the driver adds one closing-sweep confirmation test beyond
         # the synthetic model's exploration
         assert len(probes) == synth.tests + 1
+
+    @pytest.mark.parametrize("dangerous", [
+        set(), {0}, {15}, {3, 4, 5}, {0, 8, 15}, {7, 8, 9, 10},
+    ])
+    def test_every_registered_strategy_converges(self, dangerous):
+        """The strategy-lab contract on the synthetic oracle: every
+        registered strategy isolates the same dangerous set."""
+        from repro.oraql import DecisionSequence
+        from repro.oraql.strategies import strategy_names
+        for strategy in strategy_names():
+            shared = SyntheticOracle(16, set(dangerous))
+            if shared.test(DecisionSequence()):
+                # fully optimistic: the driver never starts a strategy
+                # (strategies may trust that the first attempt failed)
+                continue
+            found, _probes = self._driver_on(shared, strategy)
+            assert found == dangerous, strategy
 
 
 class TestRendering:

@@ -51,6 +51,21 @@ class TestRunSeed:
         assert r.corpus_entry is not None
         assert r.corpus_entry.kind == "optimism-hazard"
 
+    def test_strategies_all_cross_checks_each_divergence(self):
+        """--strategies all: every registered strategy re-bisects a
+        divergent case; the chunked-skeleton ones must agree with the
+        primary and none may produce a strategy-mismatch finding."""
+        from repro.oraql.strategies import strategy_names
+        r = run_seed(2, CampaignOptions(self_test=True, reduce=False,
+                                        strategies=strategy_names()))
+        assert r.optimism_divergent and r.optimism_caught
+        assert r.clean, r.findings
+        for name in strategy_names()[1:]:
+            assert r.outcomes[f"strategy-{name}"] in ("match", "valid")
+        # the chunked-skeleton strategies agree exactly
+        assert r.outcomes["strategy-mcts"] == "match"
+        assert r.outcomes["strategy-provenance-prior"] == "match"
+
 
 class TestRunCampaign:
     def test_sequential_campaign_with_corpus(self, tmp_path):

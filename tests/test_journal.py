@@ -15,6 +15,7 @@ from repro.oraql import (
     SourceFile,
 )
 from repro.oraql.journal import _decode, _encode
+from repro.oraql.strategies import strategy_names
 
 HAZARD_SRC = """
 void scale_shift(double* dst, double* src, int n) {
@@ -153,7 +154,9 @@ class TestKillAndResume:
 
     @pytest.mark.parametrize("src,kill_at", [(HAZARD_SRC, 1),
                                              (CELL_SRC, 3)])
-    @pytest.mark.parametrize("strategy", ["chunked", "frequency"])
+    # every registered strategy must resume bit-identically — a
+    # strategy is a pure function of (seed, observed outcomes)
+    @pytest.mark.parametrize("strategy", strategy_names())
     def test_resume_is_bit_identical(self, tmp_path, src, kill_at,
                                      strategy):
         cfg = cfg_of(src)

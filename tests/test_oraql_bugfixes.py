@@ -188,7 +188,8 @@ class TestFrequencyWorklist:
     times on big benchmarks; it must be a deque, not an O(n) list.pop(0)."""
 
     def test_worklist_is_a_deque(self):
-        src = inspect.getsource(ProbingDriver._probe_frequency)
+        from repro.oraql.strategies.frequency import FrequencyStrategy
+        src = inspect.getsource(FrequencyStrategy._search)
         assert "popleft" in src
         assert ".pop(0)" not in src
 

@@ -109,6 +109,16 @@ class TestJobSpec:
         with pytest.raises(ValueError):
             JobSpec(id="j", config_json="{}", kind="mystery")
 
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError, match="chunked"):
+            JobSpec(id="j", config_json="{}", strategy="bogus")
+
+    def test_every_registered_strategy_accepted(self):
+        from repro.oraql.strategies import strategy_names
+        for name in strategy_names():
+            assert JobSpec(id="j", config_json="{}",
+                           strategy=name).strategy == name
+
     def test_from_dict_ignores_unknown_keys(self):
         spec = JobSpec.from_dict({"id": "j", "config_json": "{}",
                                   "from_the_future": 1})
